@@ -1,0 +1,158 @@
+#ifndef HARBOR_BENCH_BENCH_UTIL_H_
+#define HARBOR_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/cluster.h"
+
+namespace harbor::bench {
+
+/// The evaluation tuple (§6.2): 16 4-byte integer fields including the two
+/// timestamp fields — 14 user INT32 columns, 64 bytes + the tuple id.
+inline Schema EvalSchema() {
+  std::vector<Column> cols;
+  for (int i = 0; i < 14; ++i) {
+    cols.push_back(Column::Int32("f" + std::to_string(i)));
+  }
+  return Schema(std::move(cols));
+}
+
+inline std::vector<Value> EvalRow(int32_t seed) {
+  std::vector<Value> row;
+  row.reserve(14);
+  for (int i = 0; i < 14; ++i) row.push_back(Value(seed + i));
+  return row;
+}
+
+/// A cluster configured like the paper's testbed (§6.2): the scaled cost
+/// model, checkpoints every 100 ms (paper: 1 s), epochs every 10 ms.
+inline std::unique_ptr<Cluster> MakePaperCluster(
+    CommitProtocol protocol, int workers, bool group_commit = true,
+    int64_t checkpoint_period_ms = 100) {
+  ClusterOptions opt;
+  opt.num_workers = workers;
+  opt.protocol = protocol;
+  opt.group_commit = group_commit;
+  opt.sim = SimConfig::PaperScaled();
+  opt.checkpoint_period_ms = checkpoint_period_ms;
+  opt.epoch_tick_ms = 10;
+  opt.buffer_pages = 16384;  // 64 MB, paper machines had 2 GB
+  auto cluster = Cluster::Create(opt);
+  HARBOR_CHECK_OK(cluster.status());
+  return std::move(cluster).value();
+}
+
+/// Creates one fully replicated evaluation table.
+inline TableId MakeEvalTable(Cluster* cluster, const std::string& name,
+                             uint32_t segment_page_budget) {
+  TableSpec spec;
+  spec.name = name;
+  spec.schema = EvalSchema();
+  spec.default_segment_page_budget = segment_page_budget;
+  auto table = cluster->CreateTable(spec);
+  HARBOR_CHECK_OK(table.status());
+  return *table;
+}
+
+/// Bulk-loads `tuples` committed rows (the historical base data of the
+/// recovery experiments, standing in for the paper's 1 GB preloaded
+/// tables). Insertion timestamps advance one epoch per `tuples_per_epoch`
+/// rows so that historical segments carry distinct insertion-time ranges,
+/// as real time-partitioned warehouse data does — without this, recovery's
+/// insertion-range pruning has nothing to discriminate on.
+inline void Preload(Cluster* cluster, TableId table, size_t tuples,
+                    size_t tuples_per_epoch = SIZE_MAX) {
+  constexpr size_t kBatch = 20000;
+  size_t loaded = 0;
+  TupleId next_tid = (uint64_t{1} << 32);
+  Timestamp max_ts = 1;
+  while (loaded < tuples) {
+    size_t n = std::min(kBatch, tuples - loaded);
+    std::vector<LoadRow> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      LoadRow row;
+      row.tuple_id = next_tid++;
+      row.insertion_ts =
+          1 + static_cast<Timestamp>((loaded + i) / tuples_per_epoch);
+      max_ts = std::max(max_ts, row.insertion_ts);
+      row.values = EvalRow(static_cast<int32_t>(loaded + i));
+      rows.push_back(std::move(row));
+    }
+    HARBOR_CHECK_OK(cluster->BulkLoad(table, rows));
+    loaded += n;
+  }
+  while (cluster->authority()->Now() <= max_ts) cluster->AdvanceEpoch();
+}
+
+struct ThroughputResult {
+  double tps = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+};
+
+/// Runs `streams` concurrent single-insert transaction streams for
+/// `seconds` after a warmup, one table per stream (the Figure 6-2 workload:
+/// "concurrent transactions insert tuples into different tables so that
+/// conflicts do not arise"). `cpu_cycles` of simulated work ride on each
+/// request (Figure 6-3).
+inline ThroughputResult MeasureInsertThroughput(
+    Cluster* cluster, const std::vector<TableId>& tables, int streams,
+    double seconds, int64_t cpu_cycles = 0, double warmup_seconds = 0.3) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> counting{false};
+  std::atomic<int64_t> committed{0};
+  std::atomic<int64_t> aborted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    TableId table = tables[static_cast<size_t>(s) % tables.size()];
+    threads.emplace_back([&, s, table] {
+      int32_t seq = s * 1000000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Status st = cluster->coordinator()->InsertTxn(table, EvalRow(seq++),
+                                                      cpu_cycles);
+        if (counting.load(std::memory_order_relaxed)) {
+          if (st.ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            aborted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(warmup_seconds * 1000)));
+  counting = true;
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000)));
+  counting = false;
+  const double elapsed = watch.ElapsedSeconds();
+  stop = true;
+  for (auto& t : threads) t.join();
+  ThroughputResult result;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.tps = static_cast<double>(result.committed) / elapsed;
+  return result;
+}
+
+/// Prints a banner mapping the binary to its paper experiment.
+inline void Banner(const std::string& what, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("HARBOR reproduction: %s\n", what.c_str());
+  std::printf("Paper reference: %s\n", paper_ref.c_str());
+  std::printf("(shape comparison; absolute numbers are ~1/2-scale sim)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace harbor::bench
+
+#endif  // HARBOR_BENCH_BENCH_UTIL_H_

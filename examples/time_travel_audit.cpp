@@ -1,0 +1,112 @@
+// Time-travel audit: the versioned representation (Chapter 3) lets an
+// auditor compare a report before and after a set of changes, inspect every
+// version of a record, and pin queries to named points in history — the
+// side effect of HARBOR's recovery design that users get for free.
+
+#include <cstdio>
+
+#include <map>
+
+#include "core/cluster.h"
+#include "exec/seq_scan.h"
+
+using namespace harbor;
+
+int main() {
+  std::printf("Time-travel audit example\n=========================\n\n");
+
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.sim = SimConfig::Zero();
+  auto cluster_r = Cluster::Create(options);
+  HARBOR_CHECK_OK(cluster_r.status());
+  auto cluster = std::move(cluster_r).value();
+  Coordinator* db = cluster->coordinator();
+
+  TableSpec spec;
+  spec.name = "accounts";
+  spec.schema = Schema({Column::Int64("account"), Column::Int64("balance"),
+                        Column::Char("owner", 16)});
+  auto table_r = cluster->CreateTable(spec);
+  HARBOR_CHECK_OK(table_r.status());
+  TableId accounts = *table_r;
+
+  std::map<std::string, Timestamp> marks;
+  auto mark = [&](const std::string& name) {
+    cluster->AdvanceEpoch();
+    marks[name] = cluster->authority()->StableTime();
+  };
+
+  // Epoch 1: open three accounts.
+  for (int64_t a = 1; a <= 3; ++a) {
+    HARBOR_CHECK_OK(db->InsertTxn(
+        accounts, {Value(a), Value(int64_t{1000 * a}),
+                   Value("owner" + std::to_string(a))}));
+  }
+  mark("after-open");
+
+  // Epoch 2: a batch of balance updates.
+  {
+    auto txn = db->Begin();
+    HARBOR_CHECK_OK(txn.status());
+    Predicate p;
+    p.And("account", CompareOp::kEq, Value(int64_t{2}));
+    HARBOR_CHECK_OK(db->Update(*txn, accounts, p,
+                               {SetClause{"balance", Value(int64_t{9999})}}));
+    HARBOR_CHECK_OK(db->Commit(*txn));
+  }
+  mark("after-raise");
+
+  // Epoch 3: account 1 is closed (deleted, but only logically — the
+  // version survives with a deletion timestamp).
+  {
+    auto txn = db->Begin();
+    HARBOR_CHECK_OK(txn.status());
+    Predicate p;
+    p.And("account", CompareOp::kEq, Value(int64_t{1}));
+    HARBOR_CHECK_OK(db->Delete(*txn, accounts, p));
+    HARBOR_CHECK_OK(db->Commit(*txn));
+  }
+  mark("after-close");
+
+  // The audit: total balance at each named point in history, via lock-free
+  // historical queries (§3.3 — no read locks, no interference).
+  std::printf("%-14s %8s %10s\n", "as of", "accounts", "total");
+  for (const auto& [name, ts] : std::map<std::string, Timestamp>{
+           {"1 after-open", marks["after-open"]},
+           {"2 after-raise", marks["after-raise"]},
+           {"3 after-close", marks["after-close"]}}) {
+    auto rows = db->HistoricalQuery(accounts, Predicate::True(), ts);
+    HARBOR_CHECK_OK(rows.status());
+    int64_t total = 0;
+    for (const Tuple& t : *rows) total += t.value(1).AsInt64();
+    std::printf("%-14s %8zu %10lld\n", name.c_str(), rows->size(),
+                (long long)total);
+  }
+
+  // Version archaeology: every version of account 2, straight off the
+  // pages with a SEE DELETED scan (the recovery dialect doubles as an
+  // audit tool).
+  std::printf("\nversion history of account 2:\n");
+  Worker* w = cluster->worker(0);
+  TableObject* obj = w->local_catalog()->objects()[0];
+  ScanSpec see_all;
+  see_all.object_id = obj->object_id;
+  see_all.mode = ScanMode::kSeeDeleted;
+  see_all.predicate.And("account", CompareOp::kEq, Value(int64_t{2}));
+  SeqScanOperator scan(w->store(), obj, see_all);
+  auto versions = CollectAll(&scan);
+  HARBOR_CHECK_OK(versions.status());
+  for (const Tuple& v : *versions) {
+    std::printf("  balance=%-6lld inserted@%llu %s\n",
+                (long long)v.value(1).AsInt64(),
+                (unsigned long long)v.insertion_ts(),
+                v.deletion_ts() == kNotDeleted
+                    ? "(current)"
+                    : ("deleted@" + std::to_string(v.deletion_ts())).c_str());
+  }
+
+  std::printf("\nthe audit ran with zero read locks: historical queries "
+              "never block or get blocked by updates (§3.3)\n");
+  return 0;
+}

@@ -1,0 +1,388 @@
+#include "aries/aries.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "storage/heap_page.h"
+#include "storage/tuple.h"
+
+namespace harbor {
+
+namespace {
+
+bool IsRedoable(LogRecordType type) {
+  return type == LogRecordType::kTupleInsert ||
+         type == LogRecordType::kTupleStamp || type == LogRecordType::kClr;
+}
+
+TxnLogState PhaseToLogState(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kPending: return TxnLogState::kActive;
+    case TxnPhase::kPrepared:
+    case TxnPhase::kPreparedToCommit: return TxnLogState::kPrepared;
+    case TxnPhase::kCommitted: return TxnLogState::kCommitted;
+    case TxnPhase::kAborted: return TxnLogState::kAborted;
+  }
+  return TxnLogState::kActive;
+}
+
+}  // namespace
+
+AriesRecovery::AriesRecovery(LocalCatalog* catalog, BufferPool* pool,
+                             LogManager* log)
+    : catalog_(catalog), pool_(pool), log_(log) {}
+
+Result<TableObject*> AriesRecovery::Object(ObjectId id) {
+  return catalog_->GetObject(id);
+}
+
+Status AriesRecovery::WriteCheckpoint(LogManager* log, BufferPool* pool,
+                                      TxnTable* txns) {
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  const Lsn begin_lsn = log->Append(std::move(begin));
+
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  if (txns != nullptr) {
+    for (TxnId id : txns->ActiveIds()) {
+      auto txn = txns->Get(id);
+      if (!txn.ok()) continue;
+      end.txn_table.push_back(LogRecord::TxnEntry{
+          id, (*txn)->last_lsn, PhaseToLogState((*txn)->phase)});
+    }
+  }
+  for (const auto& [page, rec_lsn] : pool->DirtyPageSnapshotWithRecLsn()) {
+    // A dirty page with no recorded recLSN forces a conservative full redo
+    // scan; this only happens for pages dirtied outside logged operations.
+    end.dirty_pages.push_back(
+        LogRecord::DirtyPageEntry{page, rec_lsn == kInvalidLsn ? 1 : rec_lsn});
+  }
+  const Lsn end_lsn = log->Append(std::move(end));
+  HARBOR_RETURN_NOT_OK(log->Flush(end_lsn));
+  return log->WriteMasterRecord(begin_lsn);
+}
+
+Status AriesRecovery::RedoRecord(const LogRecord& rec) {
+  HARBOR_ASSIGN_OR_RETURN(TableObject * obj, Object(rec.object_id));
+  HARBOR_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage(rec.rid.page));
+  PageLatchGuard latch(handle);
+  HeapPage view(handle.data(), obj->schema.tuple_bytes());
+  if (view.page_lsn() >= rec.lsn) return Status::OK();  // already on disk
+  switch (rec.type) {
+    case LogRecordType::kTupleInsert:
+      if (view.capacity() == 0) view.Init();
+      HARBOR_RETURN_NOT_OK(
+          view.InsertTupleAt(rec.rid.slot, rec.tuple_image.data()));
+      break;
+    case LogRecordType::kTupleStamp: {
+      uint8_t* data = view.TupleData(rec.rid.slot);
+      PackedSystemHeader h = PackedSystemHeader::Read(data);
+      if (rec.stamp_field == StampField::kInsertion) {
+        h.insertion_ts = rec.after_ts;
+      } else {
+        h.deletion_ts = rec.after_ts;
+      }
+      h.Write(data);
+      // Keep segment annotations covering the redone stamps.
+      auto seg = obj->file->SegmentOfPage(rec.rid.page.page_no);
+      if (seg.ok() && rec.after_ts != kUncommittedTimestamp &&
+          rec.after_ts != kNotDeleted) {
+        if (rec.stamp_field == StampField::kInsertion) {
+          obj->file->NoteCommittedInsertion(*seg, rec.after_ts);
+        } else {
+          obj->file->NoteCommittedDeletion(*seg, rec.after_ts);
+        }
+      }
+      break;
+    }
+    case LogRecordType::kClr:
+      if (rec.clr_action == 1) {
+        if (rec.rid.slot < view.capacity() && view.IsOccupied(rec.rid.slot)) {
+          HARBOR_RETURN_NOT_OK(view.FreeSlot(rec.rid.slot));
+        }
+      } else {
+        uint8_t* data = view.TupleData(rec.rid.slot);
+        PackedSystemHeader h = PackedSystemHeader::Read(data);
+        if (rec.stamp_field == StampField::kInsertion) {
+          h.insertion_ts = rec.before_ts;
+        } else {
+          h.deletion_ts = rec.before_ts;
+        }
+        h.Write(data);
+      }
+      break;
+    default:
+      return Status::Internal("non-redoable record in redo");
+  }
+  view.set_page_lsn(rec.lsn);
+  handle.MarkDirty(rec.lsn);
+  return Status::OK();
+}
+
+Status AriesRecovery::UndoLoser(TxnId txn, Lsn from_lsn, AriesStats* stats) {
+  Lsn lsn = from_lsn;
+  while (lsn != kInvalidLsn && lsn <= records_.size()) {
+    const LogRecord& rec = records_[lsn - 1];
+    HARBOR_CHECK(rec.txn == txn);
+    switch (rec.type) {
+      case LogRecordType::kClr:
+        lsn = rec.undo_next_lsn;
+        continue;
+      case LogRecordType::kTupleInsert: {
+        HARBOR_ASSIGN_OR_RETURN(TableObject * obj, Object(rec.object_id));
+        HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                                pool_->GetPage(rec.rid.page));
+        PageLatchGuard latch(handle);
+        HeapPage view(handle.data(), obj->schema.tuple_bytes());
+        if (rec.rid.slot < view.capacity() && view.IsOccupied(rec.rid.slot)) {
+          HARBOR_RETURN_NOT_OK(view.FreeSlot(rec.rid.slot));
+        }
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn = txn;
+        clr.prev_lsn = rec.lsn;
+        clr.object_id = rec.object_id;
+        clr.rid = rec.rid;
+        clr.clr_action = 1;
+        clr.undo_next_lsn = rec.prev_lsn;
+        Lsn clr_lsn = log_->Append(std::move(clr));
+        view.set_page_lsn(clr_lsn);
+        handle.MarkDirty(clr_lsn);
+        stats->records_undone++;
+        break;
+      }
+      case LogRecordType::kTupleStamp: {
+        HARBOR_ASSIGN_OR_RETURN(TableObject * obj, Object(rec.object_id));
+        HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                                pool_->GetPage(rec.rid.page));
+        PageLatchGuard latch(handle);
+        HeapPage view(handle.data(), obj->schema.tuple_bytes());
+        uint8_t* data = view.TupleData(rec.rid.slot);
+        PackedSystemHeader h = PackedSystemHeader::Read(data);
+        if (rec.stamp_field == StampField::kInsertion) {
+          h.insertion_ts = rec.before_ts;
+        } else {
+          h.deletion_ts = rec.before_ts;
+        }
+        h.Write(data);
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn = txn;
+        clr.prev_lsn = rec.lsn;
+        clr.object_id = rec.object_id;
+        clr.rid = rec.rid;
+        clr.clr_action = 2;
+        clr.stamp_field = rec.stamp_field;
+        clr.before_ts = rec.before_ts;
+        clr.undo_next_lsn = rec.prev_lsn;
+        Lsn clr_lsn = log_->Append(std::move(clr));
+        view.set_page_lsn(clr_lsn);
+        handle.MarkDirty(clr_lsn);
+        stats->records_undone++;
+        break;
+      }
+      default:
+        break;  // BEGIN / PREPARE / intents need no page work
+    }
+    lsn = rec.prev_lsn;
+  }
+  LogRecord end;
+  end.type = LogRecordType::kTxnEnd;
+  end.txn = txn;
+  log_->Append(std::move(end));
+  return Status::OK();
+}
+
+Status AriesRecovery::ApplyCommitStamping(TxnId txn, Timestamp commit_ts) {
+  // Walk the backchain to rebuild the insertion and deletion lists the
+  // in-memory state would have held (§4.1), then stamp.
+  auto it = txn_table_.find(txn);
+  HARBOR_CHECK(it != txn_table_.end());
+  Lsn lsn = it->second.last_lsn;
+  Lsn last_applied = kInvalidLsn;
+  while (lsn != kInvalidLsn && lsn <= records_.size()) {
+    const LogRecord& rec = records_[lsn - 1];
+    if (rec.type == LogRecordType::kTupleInsert ||
+        rec.type == LogRecordType::kDeleteIntent) {
+      HARBOR_ASSIGN_OR_RETURN(TableObject * obj, Object(rec.object_id));
+      HARBOR_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage(rec.rid.page));
+      PageLatchGuard latch(handle);
+      HeapPage view(handle.data(), obj->schema.tuple_bytes());
+      uint8_t* data = view.TupleData(rec.rid.slot);
+      PackedSystemHeader h = PackedSystemHeader::Read(data);
+      const StampField field = rec.type == LogRecordType::kTupleInsert
+                                   ? StampField::kInsertion
+                                   : StampField::kDeletion;
+      LogRecord stamp;
+      stamp.type = LogRecordType::kTupleStamp;
+      stamp.txn = txn;
+      stamp.prev_lsn = last_applied;
+      stamp.object_id = rec.object_id;
+      stamp.rid = rec.rid;
+      stamp.stamp_field = field;
+      stamp.before_ts = field == StampField::kInsertion ? h.insertion_ts
+                                                        : h.deletion_ts;
+      stamp.after_ts = commit_ts;
+      Lsn stamp_lsn = log_->Append(std::move(stamp));
+      last_applied = stamp_lsn;
+      if (field == StampField::kInsertion) {
+        h.insertion_ts = commit_ts;
+      } else {
+        h.deletion_ts = commit_ts;
+      }
+      h.Write(data);
+      view.set_page_lsn(stamp_lsn);
+      handle.MarkDirty(stamp_lsn);
+      auto seg = obj->file->SegmentOfPage(rec.rid.page.page_no);
+      if (seg.ok()) {
+        if (field == StampField::kInsertion) {
+          obj->file->NoteCommittedInsertion(*seg, commit_ts);
+        } else {
+          obj->file->NoteCommittedDeletion(*seg, commit_ts);
+        }
+      }
+    }
+    lsn = rec.prev_lsn;
+  }
+  LogRecord commit;
+  commit.type = LogRecordType::kTxnCommit;
+  commit.txn = txn;
+  commit.commit_ts = commit_ts;
+  Lsn commit_lsn = log_->Append(std::move(commit));
+  HARBOR_RETURN_NOT_OK(log_->Flush(commit_lsn));
+  LogRecord end;
+  end.type = LogRecordType::kTxnEnd;
+  end.txn = txn;
+  log_->Append(std::move(end));
+  return Status::OK();
+}
+
+Result<AriesStats> AriesRecovery::Recover(const InDoubtResolver& resolver) {
+  AriesStats stats;
+  txn_table_.clear();
+  dirty_pages_.clear();
+
+  // The directory of each segmented file may lag the durable page
+  // allocations; reconcile so redo can address every allocated page.
+  for (TableObject* obj : catalog_->objects()) {
+    HARBOR_ASSIGN_OR_RETURN(
+        uint32_t pages,
+        catalog_->file_manager()->NumPages(obj->object_id));
+    HARBOR_RETURN_NOT_OK(obj->file->ReconcileWithFileSize(pages));
+  }
+
+  HARBOR_ASSIGN_OR_RETURN(records_, log_->ReadAllDurable());
+  HARBOR_ASSIGN_OR_RETURN(Lsn master, log_->ReadMasterRecord());
+  stats.checkpoint_lsn = master;
+
+  // --- Pass 1: analysis ---
+  size_t start = 0;
+  if (master != kInvalidLsn) {
+    start = master - 1;
+    // Load the matching checkpoint-end snapshot.
+    for (size_t i = start; i < records_.size(); ++i) {
+      if (records_[i].type == LogRecordType::kCheckpointEnd) {
+        for (const auto& t : records_[i].txn_table) {
+          txn_table_[t.txn] = TxnInfo{t.last_lsn, t.state};
+        }
+        for (const auto& d : records_[i].dirty_pages) {
+          dirty_pages_.emplace(d.page, d.rec_lsn);
+        }
+        break;
+      }
+    }
+  }
+  std::unordered_map<TxnId, Timestamp> commit_times;
+  for (size_t i = start; i < records_.size(); ++i) {
+    const LogRecord& rec = records_[i];
+    stats.records_analyzed++;
+    if (rec.txn != kInvalidTxnId) {
+      TxnInfo& info = txn_table_[rec.txn];
+      info.last_lsn = rec.lsn;
+      switch (rec.type) {
+        case LogRecordType::kTxnPrepare:
+          info.state = TxnLogState::kPrepared;
+          break;
+        case LogRecordType::kTxnCommit:
+          info.state = TxnLogState::kCommitted;
+          commit_times[rec.txn] = rec.commit_ts;
+          break;
+        case LogRecordType::kTxnAbort:
+          info.state = TxnLogState::kAborted;
+          break;
+        case LogRecordType::kTxnEnd:
+          txn_table_.erase(rec.txn);
+          break;
+        default:
+          break;
+      }
+    }
+    if (IsRedoable(rec.type)) {
+      dirty_pages_.emplace(rec.rid.page, rec.lsn);
+    }
+  }
+
+  // --- Pass 2: redo (repeating history) ---
+  if (!dirty_pages_.empty()) {
+    Lsn redo_start = kInvalidLsn;
+    for (const auto& [page, rec_lsn] : dirty_pages_) {
+      if (redo_start == kInvalidLsn || rec_lsn < redo_start) {
+        redo_start = rec_lsn;
+      }
+    }
+    for (size_t i = redo_start - 1; i < records_.size(); ++i) {
+      const LogRecord& rec = records_[i];
+      if (!IsRedoable(rec.type)) continue;
+      auto dp = dirty_pages_.find(rec.rid.page);
+      if (dp == dirty_pages_.end() || rec.lsn < dp->second) continue;
+      HARBOR_RETURN_NOT_OK(RedoRecord(rec));
+      stats.records_redone++;
+    }
+  }
+
+  // --- Pass 3: undo losers (newest change first across transactions) ---
+  std::vector<std::pair<Lsn, TxnId>> losers;
+  std::vector<std::pair<Lsn, TxnId>> in_doubt;
+  for (const auto& [txn, info] : txn_table_) {
+    if (info.state == TxnLogState::kActive ||
+        info.state == TxnLogState::kAborted) {
+      losers.emplace_back(info.last_lsn, txn);
+    } else if (info.state == TxnLogState::kPrepared) {
+      in_doubt.emplace_back(info.last_lsn, txn);
+    } else if (info.state == TxnLogState::kCommitted) {
+      // COMMIT logged but END missing: the work is durable via redo; just
+      // close the transaction.
+      LogRecord end;
+      end.type = LogRecordType::kTxnEnd;
+      end.txn = txn;
+      log_->Append(std::move(end));
+    }
+  }
+  std::sort(losers.rbegin(), losers.rend());
+  stats.loser_txns = losers.size();
+  for (const auto& [lsn, txn] : losers) {
+    HARBOR_RETURN_NOT_OK(UndoLoser(txn, lsn, &stats));
+  }
+
+  // --- In-doubt resolution (2PC blocking window) ---
+  stats.in_doubt_txns = in_doubt.size();
+  for (const auto& [lsn, txn] : in_doubt) {
+    HARBOR_ASSIGN_OR_RETURN(InDoubtOutcome outcome, resolver(txn));
+    if (outcome.committed) {
+      HARBOR_RETURN_NOT_OK(ApplyCommitStamping(txn, outcome.commit_ts));
+    } else {
+      LogRecord abort;
+      abort.type = LogRecordType::kTxnAbort;
+      abort.txn = txn;
+      log_->Append(std::move(abort));
+      HARBOR_RETURN_NOT_OK(UndoLoser(txn, lsn, &stats));
+    }
+  }
+
+  HARBOR_RETURN_NOT_OK(log_->FlushAll());
+  HARBOR_RETURN_NOT_OK(WriteCheckpoint(log_, pool_, nullptr));
+  return stats;
+}
+
+}  // namespace harbor

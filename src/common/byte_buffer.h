@@ -1,0 +1,110 @@
+#ifndef HARBOR_COMMON_BYTE_BUFFER_H_
+#define HARBOR_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace harbor {
+
+/// \brief Append-only binary encoder used for log records and network
+/// messages. All integers are encoded little-endian fixed-width.
+class ByteBufferWriter {
+ public:
+  void WriteU8(uint8_t v) { Append(&v, 1); }
+  void WriteU16(uint16_t v) { Append(&v, 2); }
+  void WriteU32(uint32_t v) { Append(&v, 4); }
+  void WriteU64(uint64_t v) { Append(&v, 8); }
+  void WriteI32(int32_t v) { Append(&v, 4); }
+  void WriteI64(int64_t v) { Append(&v, 8); }
+  void WriteDouble(double v) { Append(&v, 8); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  /// Writes a length-prefixed byte string.
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+
+  /// Writes raw bytes with no length prefix.
+  void WriteRaw(const void* data, size_t size) { Append(data, size); }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t> TakeData() { return std::move(data_); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  void Append(const void* p, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(p);
+    data_.insert(data_.end(), bytes, bytes + n);
+  }
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Cursor-based binary decoder matching ByteBufferWriter's encoding.
+/// Reads validate remaining length and return Status on truncation so that a
+/// corrupt log tail or message is reported rather than read out of bounds.
+class ByteBufferReader {
+ public:
+  ByteBufferReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteBufferReader(const std::vector<uint8_t>& buf)
+      : ByteBufferReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> ReadU8() { return ReadFixed<uint8_t>(); }
+  Result<uint16_t> ReadU16() { return ReadFixed<uint16_t>(); }
+  Result<uint32_t> ReadU32() { return ReadFixed<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadFixed<uint64_t>(); }
+  Result<int32_t> ReadI32() { return ReadFixed<int32_t>(); }
+  Result<int64_t> ReadI64() { return ReadFixed<int64_t>(); }
+  Result<double> ReadDouble() { return ReadFixed<double>(); }
+
+  Result<bool> ReadBool() {
+    HARBOR_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+    return v != 0;
+  }
+
+  Result<std::string> ReadString() {
+    HARBOR_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (remaining() < len) {
+      return Status::Corruption("string extends past end of buffer");
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  Status ReadRaw(void* out, size_t n) {
+    if (remaining() < n) return Status::Corruption("raw read past end");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadFixed() {
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("fixed read past end of buffer");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_COMMON_BYTE_BUFFER_H_

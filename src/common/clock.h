@@ -1,0 +1,44 @@
+#ifndef HARBOR_COMMON_CLOCK_H_
+#define HARBOR_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace harbor {
+
+/// Monotonic wall-clock time in nanoseconds, for measuring elapsed time in
+/// benchmarks and for the batched-sleep machinery in the simulation layer.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Busy-spins for the given duration. Used to simulate per-transaction CPU
+/// work (§6.3.2): unlike sleeping, spinning occupies the (simulated) site CPU
+/// so concurrent transactions cannot overlap their CPU work.
+inline void SpinFor(std::chrono::nanoseconds d) {
+  const int64_t deadline = NowNanos() + d.count();
+  while (NowNanos() < deadline) {
+    // Busy wait.
+  }
+}
+
+/// \brief Simple stopwatch for benchmark phase timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_COMMON_CLOCK_H_

@@ -1,0 +1,41 @@
+#ifndef HARBOR_COMMON_RANDOM_H_
+#define HARBOR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace harbor {
+
+/// \brief Seedable PRNG for workload generation and the buffer pool's random
+/// eviction policy (§6.1.3). Wraps std::mt19937_64 with convenience ranges.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_COMMON_RANDOM_H_

@@ -1,0 +1,77 @@
+#ifndef HARBOR_COMMON_RESULT_H_
+#define HARBOR_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace harbor {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// The moral equivalent of absl::StatusOr<T>. Constructing a Result from an
+/// OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    HARBOR_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the contained value. Aborts if the Result holds an error.
+  T& value() & {
+    HARBOR_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    HARBOR_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    HARBOR_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace harbor
+
+/// \brief Assigns a Result's value to `lhs`, or propagates its error.
+///
+///   HARBOR_ASSIGN_OR_RETURN(auto page, pool.GetPage(tid, pid, perm));
+#define HARBOR_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  HARBOR_ASSIGN_OR_RETURN_IMPL(                                  \
+      HARBOR_RESULT_CONCAT(_harbor_result_, __LINE__), lhs, rexpr)
+
+#define HARBOR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define HARBOR_RESULT_CONCAT_INNER(a, b) a##b
+#define HARBOR_RESULT_CONCAT(a, b) HARBOR_RESULT_CONCAT_INNER(a, b)
+
+#endif  // HARBOR_COMMON_RESULT_H_

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace harbor {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_) state_ = std::make_unique<State>(*other.state_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ ? state_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += message();
+  return result;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+Status Status::Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+Status Status::TimedOut(std::string msg) {
+  return Status(StatusCode::kTimedOut, std::move(msg));
+}
+Status Status::Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::NotImplemented(std::string msg) {
+  return Status(StatusCode::kNotImplemented, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieOfBadStatus(const Status& st, const char* expr, const char* file,
+                    int line) {
+  std::fprintf(stderr, "HARBOR_CHECK_OK failed at %s:%d: %s -> %s\n", file,
+               line, expr, st.ToString().c_str());
+  std::abort();
+}
+
+void DieOfBadCheck(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "HARBOR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace harbor

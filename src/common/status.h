@@ -1,0 +1,127 @@
+#ifndef HARBOR_COMMON_STATUS_H_
+#define HARBOR_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace harbor {
+
+/// \brief Error codes used across the system.
+///
+/// HARBOR does not use C++ exceptions; every fallible operation returns a
+/// Status (or a Result<T>, see result.h). Codes are deliberately coarse: the
+/// message carries the detail, the code carries the recovery policy (e.g.,
+/// kUnavailable means "site down, consult the failure handling rules of
+/// §5.5", kTimedOut from the lock manager means "deadlock victim, abort").
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kTimedOut,       // lock wait timeout: treated as deadlock (§6.1.2)
+  kAborted,        // transaction aborted (vote NO, rollback, ...)
+  kUnavailable,    // site crashed / connection closed (§5.5)
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error value, cheap to pass by value in the success
+/// case (a single pointer, null when OK).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status IoError(std::string msg);
+  static Status Corruption(std::string msg);
+  static Status TimedOut(std::string msg);
+  static Status Aborted(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code() == other.code(); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK; keeps the common success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace harbor
+
+/// \brief Propagates a non-OK Status to the caller.
+#define HARBOR_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::harbor::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// \brief Aborts the process if `expr` is not OK. For invariants and tests.
+#define HARBOR_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    ::harbor::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                     \
+      ::harbor::internal_status::DieOfBadStatus(_st, #expr, __FILE__,    \
+                                                __LINE__);               \
+    }                                                                    \
+  } while (0)
+
+/// \brief Aborts the process if `cond` is false.
+#define HARBOR_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::harbor::internal_status::DieOfBadCheck(#cond, __FILE__, __LINE__);  \
+    }                                                                       \
+  } while (0)
+
+namespace harbor::internal_status {
+[[noreturn]] void DieOfBadStatus(const Status& st, const char* expr,
+                                 const char* file, int line);
+[[noreturn]] void DieOfBadCheck(const char* expr, const char* file, int line);
+}  // namespace harbor::internal_status
+
+#endif  // HARBOR_COMMON_STATUS_H_

@@ -1,0 +1,99 @@
+#ifndef HARBOR_COMMON_TYPES_H_
+#define HARBOR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace harbor {
+
+/// Logical commit timestamp ("epoch"). Timestamps are assigned at commit time
+/// by the TimestampAuthority (§4.1); they are arbitrarily granular and need
+/// not correspond to real time. Timestamp 0 in a tuple's deletion field means
+/// "not deleted".
+using Timestamp = uint64_t;
+
+/// Special insertion-timestamp value for tuples written to disk by a STEAL
+/// buffer pool before their transaction committed (§4.1). Chosen greater than
+/// any valid timestamp so uncommitted tuples land in the last segment and are
+/// trivially filtered by range predicates.
+inline constexpr Timestamp kUncommittedTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Deletion-timestamp value meaning "tuple not deleted".
+inline constexpr Timestamp kNotDeleted = 0;
+
+/// Globally unique identifier for a distributed transaction.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Identifies a site (node) in the cluster. The coordinator is a site too.
+using SiteId = uint32_t;
+inline constexpr SiteId kInvalidSiteId = std::numeric_limits<SiteId>::max();
+
+/// Identifies a logical table in the global catalog.
+using TableId = uint32_t;
+
+/// Identifies a physical table object (a replica or partition of a logical
+/// table) stored at one site.
+using ObjectId = uint32_t;
+
+/// Stable, replica-independent identifier for a logical tuple; all versions
+/// of a tuple (across updates) and all replicas of it share the tuple id
+/// (§5.3 requires this to correlate tuples between sites).
+using TupleId = uint64_t;
+
+/// Log sequence number within one site's write-ahead log.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// A page within a site's storage, addressed by file and page number.
+struct PageId {
+  uint32_t file_id = 0;
+  uint32_t page_no = 0;
+
+  bool operator==(const PageId&) const = default;
+  bool operator<(const PageId& o) const {
+    return file_id != o.file_id ? file_id < o.file_id : page_no < o.page_no;
+  }
+  std::string ToString() const {
+    return std::to_string(file_id) + ":" + std::to_string(page_no);
+  }
+};
+
+/// A tuple slot within a page.
+struct RecordId {
+  PageId page;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId&) const = default;
+  bool operator<(const RecordId& o) const {
+    return page == o.page ? slot < o.slot : page < o.page;
+  }
+  std::string ToString() const {
+    return page.ToString() + "#" + std::to_string(slot);
+  }
+};
+
+/// Size of a database page in bytes (§6.1.1 uses 4 KB pages).
+inline constexpr uint32_t kPageSize = 4096;
+
+}  // namespace harbor
+
+namespace std {
+template <>
+struct hash<harbor::PageId> {
+  size_t operator()(const harbor::PageId& p) const noexcept {
+    return (static_cast<size_t>(p.file_id) << 32) ^ p.page_no;
+  }
+};
+template <>
+struct hash<harbor::RecordId> {
+  size_t operator()(const harbor::RecordId& r) const noexcept {
+    return std::hash<harbor::PageId>()(r.page) * 131 + r.slot;
+  }
+};
+}  // namespace std
+
+#endif  // HARBOR_COMMON_TYPES_H_

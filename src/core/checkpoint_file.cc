@@ -1,0 +1,77 @@
+#include "core/checkpoint_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace harbor {
+
+namespace {
+constexpr uint32_t kMagic = 0x48524b50;  // "HRKP"
+}  // namespace
+
+Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
+  const std::string path = dir + "/checkpoint.meta";
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return CheckpointRecord{};  // blank slate
+    return Status::IoError("open checkpoint: " +
+                           std::string(std::strerror(errno)));
+  }
+  std::vector<uint8_t> buf;
+  uint8_t chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  ByteBufferReader in(buf);
+  HARBOR_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
+  if (magic != kMagic) return Status::Corruption("bad checkpoint magic");
+  CheckpointRecord rec;
+  HARBOR_ASSIGN_OR_RETURN(rec.global_time, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t count, in.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(ObjectId obj, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(Timestamp t, in.ReadU64());
+    rec.per_object[obj] = t;
+  }
+  return rec;
+}
+
+Status WriteCheckpointRecord(const std::string& dir,
+                             const CheckpointRecord& record) {
+  ByteBufferWriter out;
+  out.WriteU32(kMagic);
+  out.WriteU64(record.global_time);
+  out.WriteU32(static_cast<uint32_t>(record.per_object.size()));
+  for (const auto& [obj, t] : record.per_object) {
+    out.WriteU32(obj);
+    out.WriteU64(t);
+  }
+  const std::string path = dir + "/checkpoint.meta";
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open checkpoint tmp: " +
+                           std::string(std::strerror(errno)));
+  }
+  ssize_t n = ::write(fd, out.data().data(), out.size());
+  ::fsync(fd);
+  ::close(fd);
+  if (n != static_cast<ssize_t>(out.size())) {
+    return Status::IoError("short checkpoint write");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename checkpoint: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace harbor

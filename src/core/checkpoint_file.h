@@ -1,0 +1,40 @@
+#ifndef HARBOR_CORE_CHECKPOINT_FILE_H_
+#define HARBOR_CORE_CHECKPOINT_FILE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace harbor {
+
+/// \brief The "well-known location on disk" where a site records its
+/// checkpoint time T (Figure 3-2): every update with commit time <= T is on
+/// disk.
+///
+/// During recovery a site switches to finer-granularity per-object
+/// checkpoints — objects recover at different rates, and a restart mid-
+/// recovery should resume each object from its own high-water mark (§5.3).
+/// The global time applies to any object without an override.
+struct CheckpointRecord {
+  Timestamp global_time = 0;
+  std::unordered_map<ObjectId, Timestamp> per_object;
+
+  Timestamp TimeFor(ObjectId object) const {
+    auto it = per_object.find(object);
+    return it == per_object.end() ? global_time : it->second;
+  }
+};
+
+/// Reads the checkpoint record from `dir` (a missing file reads as time 0:
+/// recover from a blank slate, §5.3).
+Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir);
+
+/// Atomically (write + rename) persists the checkpoint record with an fsync.
+Status WriteCheckpointRecord(const std::string& dir,
+                             const CheckpointRecord& record);
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_CHECKPOINT_FILE_H_

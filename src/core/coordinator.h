@@ -1,0 +1,157 @@
+#ifndef HARBOR_CORE_COORDINATOR_H_
+#define HARBOR_CORE_COORDINATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/global_catalog.h"
+#include "core/liveness.h"
+#include "core/messages.h"
+#include "core/protocol.h"
+#include "exec/predicate.h"
+#include "net/network.h"
+#include "sim/sim_disk.h"
+#include "txn/timestamp_authority.h"
+#include "wal/log_manager.h"
+
+namespace harbor {
+
+struct CoordinatorOptions {
+  SiteId site_id = 0;
+  std::string dir;
+  SimConfig sim = SimConfig::Zero();
+  CommitProtocol protocol = CommitProtocol::kOptimized3PC;
+  bool group_commit = true;
+  int server_threads = 4;
+  /// §4.3.5: commit with K-1 safety when a worker crashes mid-transaction
+  /// instead of aborting.
+  bool continue_on_worker_failure = false;
+};
+
+/// \brief The transaction coordinator (§4.1): distributes update requests to
+/// all live sites holding the relevant data, maintains each transaction's
+/// in-memory queue of logical update requests (the state a recovering site
+/// joins from, §5.4.2), runs the configured commit protocol, and serves the
+/// recovery-side services (coming-online, in-doubt resolution).
+class Coordinator {
+ public:
+  Coordinator(Network* network, GlobalCatalog* catalog,
+              TimestampAuthority* authority, LivenessDirectory* liveness,
+              CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  Status Start();
+  /// Fail-stop crash (coordinator state is volatile except its 2PC log).
+  void Crash();
+  /// Restart: under 2PC, completes transactions whose COMMIT record is
+  /// durable but whose workers were never told (re-sends COMMIT; workers
+  /// treat duplicates idempotently).
+  Status Restart();
+  bool running() const { return running_.load(); }
+
+  // --- Client transaction API ---
+  Result<TxnId> Begin();
+  Status Insert(TxnId txn, TableId table, std::vector<Value> values,
+                int64_t cpu_work_cycles = 0);
+  Status Delete(TxnId txn, TableId table, Predicate predicate);
+  Status Update(TxnId txn, TableId table, Predicate predicate,
+                std::vector<SetClause> sets);
+  /// Runs the configured commit protocol; returns kAborted if the
+  /// transaction could not commit.
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  /// Convenience: one single-row insert transaction (the Figure 6-2
+  /// workload unit).
+  Status InsertTxn(TableId table, std::vector<Value> values,
+                   int64_t cpu_work_cycles = 0);
+
+  // --- Reads ---
+  /// Historical read-only query at time `as_of` (lock-free, §3.3); `as_of`
+  /// must be <= the authority's StableTime. Results use the logical schema.
+  Result<std::vector<Tuple>> HistoricalQuery(TableId table,
+                                             const Predicate& predicate,
+                                             Timestamp as_of);
+  /// Up-to-date read with shared locks (read transaction).
+  Result<std::vector<Tuple>> Query(TableId table, const Predicate& predicate);
+
+  /// Fresh tuple id for an insert (shared by all replicas of the tuple).
+  TupleId NextTupleId();
+
+  int64_t committed() const { return committed_.load(); }
+  int64_t aborted() const { return aborted_.load(); }
+  LogManager* log() { return log_.get(); }
+  SimDisk* log_disk() { return log_disk_.get(); }
+  SiteId site_id() const { return options_.site_id; }
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct CoordTxn {
+    explicit CoordTxn(TxnId id) : id(id) {}
+    const TxnId id;
+    std::mutex mu;
+    std::vector<UpdateRequest> queue;  // §4.1 per-transaction update queue
+    std::vector<SiteId> workers;       // participants (received updates)
+    bool failed = false;               // a worker died mid-transaction
+    bool finished = false;             // commit/abort already ran
+  };
+
+  Result<Message> Handle(SiteId from, const Message& m);
+  Result<Message> HandleComingOnline(const ComingOnlineMsg& m);
+  Result<Message> HandleResolveTxn(const TxnMsg& m);
+
+  Status Distribute(TxnId txn, UpdateRequest request);
+  Result<std::shared_ptr<CoordTxn>> GetTxn(TxnId txn);
+  void EraseTxn(TxnId txn);
+
+  /// Broadcasts `m` to `sites` in parallel; returns per-site success.
+  std::vector<Status> Broadcast(const std::vector<SiteId>& sites,
+                                const Message& m);
+
+  Status RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct);
+  Status AbortWithWorkers(const std::shared_ptr<CoordTxn>& ct,
+                          const std::vector<SiteId>& prepared_sites);
+
+  Status LogDecisionForced(TxnId txn, bool commit, Timestamp ts);
+
+  Network* const network_;
+  GlobalCatalog* const catalog_;
+  TimestampAuthority* const authority_;
+  LivenessDirectory* const liveness_;
+  const CoordinatorOptions options_;
+
+  std::unique_ptr<SimDisk> log_disk_;
+  std::unique_ptr<LogManager> log_;  // only under 2PC protocols
+
+  std::mutex txns_mu_;
+  std::unordered_map<TxnId, std::shared_ptr<CoordTxn>> txns_;
+
+  /// Commit/abort outcomes workers have not yet acknowledged; consulted by
+  /// kResolveTxn after a worker restart (presumed abort if absent).
+  mutable std::mutex unresolved_mu_;
+  std::unordered_map<TxnId, std::pair<bool, Timestamp>> unresolved_;
+
+  /// Blocks new update distribution while a recovering site joins pending
+  /// transactions, eliminating forward/new-update races (§5.4.2).
+  std::shared_mutex online_gate_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> txn_counter_{0};
+  std::atomic<uint64_t> tuple_counter_{0};
+  uint64_t restart_epoch_ = 0;
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> aborted_{0};
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_COORDINATOR_H_

@@ -1,0 +1,177 @@
+#include "core/global_catalog.h"
+
+#include <algorithm>
+
+namespace harbor {
+
+Result<TableId> GlobalCatalog::AddTable(std::string name,
+                                        Schema logical_schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  auto def = std::make_unique<TableDef>();
+  def->id = static_cast<TableId>(tables_.size() + 1);
+  def->name = name;
+  def->logical_schema = std::move(logical_schema);
+  TableId id = def->id;
+  by_name_[std::move(name)] = id;
+  tables_.push_back(std::move(def));
+  return id;
+}
+
+Result<ObjectId> GlobalCatalog::AddReplica(TableId table, SiteId site,
+                                           PartitionRange partition,
+                                           Schema physical_schema,
+                                           uint32_t segment_page_budget,
+                                           std::string indexed_column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table == 0 || table > tables_.size()) {
+    return Status::NotFound("no table " + std::to_string(table));
+  }
+  TableDef* def = tables_[table - 1].get();
+  if (!physical_schema.LogicallyEquals(def->logical_schema)) {
+    return Status::InvalidArgument(
+        "replica schema is not a permutation of the logical schema");
+  }
+  ReplicaPlacement p;
+  p.site = site;
+  p.object_id = next_object_id_++;
+  p.partition = std::move(partition);
+  p.physical_schema = std::move(physical_schema);
+  p.segment_page_budget = segment_page_budget;
+  p.indexed_column = std::move(indexed_column);
+  ObjectId id = p.object_id;
+  def->replicas.push_back(std::move(p));
+  return id;
+}
+
+Result<const TableDef*> GlobalCatalog::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > tables_.size()) {
+    return Status::NotFound("no table " + std::to_string(id));
+  }
+  return const_cast<const TableDef*>(tables_[id - 1].get());
+}
+
+Result<const TableDef*> GlobalCatalog::GetTableByName(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no table '" + name + "'");
+  return const_cast<const TableDef*>(tables_[it->second - 1].get());
+}
+
+std::vector<const TableDef*> GlobalCatalog::tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const TableDef*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<SiteId> GlobalCatalog::SitesOf(TableId table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteId> out;
+  if (table == 0 || table > tables_.size()) return out;
+  for (const ReplicaPlacement& p : tables_[table - 1]->replicas) {
+    if (std::find(out.begin(), out.end(), p.site) == out.end()) {
+      out.push_back(p.site);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RecoveryObject>> GlobalCatalog::PlanCover(
+    TableId table, const PartitionRange& target, SiteId exclude_site,
+    const std::function<bool(SiteId)>& usable) const {
+  std::vector<ReplicaPlacement> candidates;
+  PartitionRange domain = target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table == 0 || table > tables_.size()) {
+      return Status::NotFound("no table " + std::to_string(table));
+    }
+    for (const ReplicaPlacement& p : tables_[table - 1]->replicas) {
+      // The table's data domain is the union of all replica ranges (every
+      // datum lives in K+1 replicas, so a full-table target only needs to
+      // cover that union).
+      if (target.IsFull() && !p.partition.IsFull() && domain.IsFull()) {
+        domain = p.partition;
+      } else if (target.IsFull() && !p.partition.IsFull()) {
+        domain.lo = std::min(domain.lo, p.partition.lo);
+        domain.hi = std::max(domain.hi, p.partition.hi);
+      }
+      if (p.site == exclude_site || !usable(p.site)) continue;
+      if (PartitionRange::Intersect(p.partition, target).has_value()) {
+        candidates.push_back(p);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return Status::Unavailable(
+        "no live replicas cover the target range: K-safety exceeded");
+  }
+
+  std::vector<RecoveryObject> plan;
+
+  // A full replica covers everything in one piece. When several qualify,
+  // rotate the choice by object id so that a site recovering multiple
+  // objects in parallel spreads the load over different buddies and their
+  // transfers overlap (§6.4.1's parallel two-table recovery).
+  std::vector<const ReplicaPlacement*> full;
+  for (const ReplicaPlacement& p : candidates) {
+    if (p.partition.IsFull() || (!target.IsFull() &&
+                                 p.partition.lo <= target.lo &&
+                                 p.partition.hi >= target.hi &&
+                                 p.partition.column == target.column)) {
+      full.push_back(&p);
+    }
+  }
+  if (!full.empty()) {
+    const ReplicaPlacement* pick = full[table % full.size()];
+    plan.push_back(RecoveryObject{pick->site, pick->object_id, target});
+    return plan;
+  }
+
+  if (target.IsFull()) {
+    // No full replica is usable: cover the union-of-partitions domain with
+    // the partitioned replicas instead.
+    if (domain.IsFull()) {
+      return Status::Unavailable(
+          "no usable full replica and no partitioned placements");
+    }
+    return PlanCover(table, domain, exclude_site, usable);
+  }
+
+  // Greedy interval cover with mutually exclusive assigned predicates.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ReplicaPlacement& a, const ReplicaPlacement& b) {
+              return a.partition.lo < b.partition.lo;
+            });
+  int64_t cursor = target.lo;
+  while (cursor < target.hi) {
+    const ReplicaPlacement* best = nullptr;
+    for (const ReplicaPlacement& p : candidates) {
+      if (p.partition.column != target.column) continue;
+      if (p.partition.lo <= cursor && p.partition.hi > cursor) {
+        if (best == nullptr || p.partition.hi > best->partition.hi) {
+          best = &p;
+        }
+      }
+    }
+    if (best == nullptr) {
+      return Status::Unavailable(
+          "live replicas leave a gap at key " + std::to_string(cursor) +
+          ": K-safety exceeded for this range");
+    }
+    int64_t end = std::min(best->partition.hi, target.hi);
+    plan.push_back(RecoveryObject{
+        best->site, best->object_id,
+        PartitionRange::On(target.column, cursor, end)});
+    cursor = end;
+  }
+  return plan;
+}
+
+}  // namespace harbor

@@ -1,0 +1,95 @@
+#ifndef HARBOR_CORE_GLOBAL_CATALOG_H_
+#define HARBOR_CORE_GLOBAL_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+
+namespace harbor {
+
+/// \brief Placement of one physical object: a replica (or horizontal
+/// partition of a replica) of a logical table at a site, in its own physical
+/// representation (§3.1: replicas need not be identical — they may differ in
+/// column order and segment sizing here).
+struct ReplicaPlacement {
+  SiteId site = kInvalidSiteId;
+  ObjectId object_id = 0;
+  PartitionRange partition;        // subset of the table this object holds
+  Schema physical_schema;          // same column set, possibly reordered
+  uint32_t segment_page_budget = 64;
+  /// Integer column carrying a per-segment secondary index ("" = none) —
+  /// replicas may even be indexed differently (§3.1: different physical
+  /// representations per copy).
+  std::string indexed_column;
+};
+
+/// \brief A logical table and its K-safe placement.
+struct TableDef {
+  TableId id = 0;
+  std::string name;
+  Schema logical_schema;
+  std::vector<ReplicaPlacement> replicas;
+};
+
+/// \brief One piece of a recovery (or distributed read) plan: scan
+/// `object_id` at `site` restricted to `predicate` (§5.1's recovery object +
+/// recovery predicate).
+struct RecoveryObject {
+  SiteId site = kInvalidSiteId;
+  ObjectId object_id = 0;
+  PartitionRange predicate;
+};
+
+/// \brief The replicated cluster-wide catalog: tables, schemas, and replica
+/// placements (§5.1 assumes the catalog stores exactly this).
+///
+/// PlanCover is the computation the thesis equates with distributed query
+/// planning: given a target range of a table and the set of usable sites,
+/// find objects whose predicates are mutually exclusive and collectively
+/// cover the range.
+class GlobalCatalog {
+ public:
+  /// Registers a table; replica placements are added with AddReplica.
+  Result<TableId> AddTable(std::string name, Schema logical_schema);
+
+  /// Adds a replica/partition placement; assigns and returns its object id
+  /// (object ids are globally unique and double as file ids at their site).
+  Result<ObjectId> AddReplica(TableId table, SiteId site,
+                              PartitionRange partition, Schema physical_schema,
+                              uint32_t segment_page_budget,
+                              std::string indexed_column = "");
+
+  Result<const TableDef*> GetTable(TableId id) const;
+  Result<const TableDef*> GetTableByName(const std::string& name) const;
+  std::vector<const TableDef*> tables() const;
+
+  /// Sites hosting any replica of `table`.
+  std::vector<SiteId> SitesOf(TableId table) const;
+
+  /// Computes a mutually exclusive, collectively covering set of recovery
+  /// objects for `target` (a range of `table`) using only sites accepted by
+  /// `usable` and excluding `exclude_site` (the recovering site itself).
+  /// Fails with kUnavailable if the live replicas cannot cover the range —
+  /// i.e. more than K failures hit this table (§3.2).
+  Result<std::vector<RecoveryObject>> PlanCover(
+      TableId table, const PartitionRange& target, SiteId exclude_site,
+      const std::function<bool(SiteId)>& usable) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TableDef>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+  ObjectId next_object_id_ = 1;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_GLOBAL_CATALOG_H_

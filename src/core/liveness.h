@@ -1,0 +1,53 @@
+#ifndef HARBOR_CORE_LIVENESS_H_
+#define HARBOR_CORE_LIVENESS_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harbor {
+
+/// Site states the coordinator's update distribution cares about (§5.4.2).
+/// A kRecovering site has its network endpoint up — it can serve consensus
+/// probes and receive forwarded update requests — but new transactions do
+/// not yet include it; the transition to kOnline happens when its "coming
+/// online" protocol completes.
+enum class SiteState : uint8_t { kDown = 0, kRecovering = 1, kOnline = 2 };
+
+/// \brief Shared directory of site states; the in-process stand-in for the
+/// failure-detection machinery (heartbeats / broken TCP connections, §5.5.1)
+/// every distributed database already has.
+class LivenessDirectory {
+ public:
+  void Set(SiteId site, SiteState state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_[site] = state;
+  }
+
+  SiteState Get(SiteId site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = states_.find(site);
+    return it == states_.end() ? SiteState::kDown : it->second;
+  }
+
+  bool IsOnline(SiteId site) const { return Get(site) == SiteState::kOnline; }
+
+  std::vector<SiteId> OnlineSites() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SiteId> out;
+    for (const auto& [site, state] : states_) {
+      if (state == SiteState::kOnline) out.push_back(site);
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<SiteId, SiteState> states_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_LIVENESS_H_

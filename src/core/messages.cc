@@ -1,0 +1,252 @@
+#include "core/messages.h"
+
+namespace harbor {
+
+namespace {
+
+Message Wrap(MsgType type, ByteBufferWriter* out) {
+  Message m;
+  m.type = static_cast<uint16_t>(type);
+  m.payload = out->TakeData();
+  return m;
+}
+
+}  // namespace
+
+Message AckMessage() {
+  Message m;
+  m.type = static_cast<uint16_t>(MsgType::kAck);
+  return m;
+}
+
+Message ExecUpdateMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU64(txn);
+  out.WriteU32(coordinator);
+  request.Serialize(&out);
+  return Wrap(MsgType::kExecUpdate, &out);
+}
+
+Result<ExecUpdateMsg> ExecUpdateMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ExecUpdateMsg r;
+  HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.coordinator, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(r.request, UpdateRequest::Deserialize(&in));
+  return r;
+}
+
+Message PrepareMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU64(txn);
+  out.WriteU32(coordinator);
+  out.WriteU32(static_cast<uint32_t>(participants.size()));
+  for (SiteId s : participants) out.WriteU32(s);
+  return Wrap(MsgType::kPrepare, &out);
+}
+
+Result<PrepareMsg> PrepareMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  PrepareMsg r;
+  HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.coordinator, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+  r.participants.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(r.participants[i], in.ReadU32());
+  }
+  return r;
+}
+
+Message CommitTsMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU64(txn);
+  out.WriteU64(commit_ts);
+  return Wrap(type, &out);
+}
+
+Result<CommitTsMsg> CommitTsMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  CommitTsMsg r;
+  r.type = static_cast<MsgType>(m.type);
+  HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.commit_ts, in.ReadU64());
+  return r;
+}
+
+Message TxnMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU64(txn);
+  return Wrap(type, &out);
+}
+
+Result<TxnMsg> TxnMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  TxnMsg r;
+  r.type = static_cast<MsgType>(m.type);
+  HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
+  return r;
+}
+
+Message ScanMsg::Encode() const {
+  ByteBufferWriter out;
+  spec.Serialize(&out);
+  out.WriteU64(owner);
+  out.WriteBool(with_page_locks);
+  out.WriteBool(minimal_projection);
+  return Wrap(MsgType::kScan, &out);
+}
+
+Result<ScanMsg> ScanMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ScanMsg r;
+  HARBOR_ASSIGN_OR_RETURN(r.spec, ScanSpec::Deserialize(&in));
+  HARBOR_ASSIGN_OR_RETURN(r.owner, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.with_page_locks, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.minimal_projection, in.ReadBool());
+  return r;
+}
+
+Message ScanReplyMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteBool(minimal);
+  if (minimal) {
+    out.WriteU32(static_cast<uint32_t>(id_deletions.size()));
+    for (const IdDeletion& d : id_deletions) {
+      out.WriteU64(d.tuple_id);
+      out.WriteU64(d.deletion_ts);
+      out.WriteU64(d.insertion_ts);
+    }
+  } else {
+    schema.Serialize(&out);
+    out.WriteU32(static_cast<uint32_t>(tuples.size()));
+    for (const Tuple& t : tuples) t.Serialize(schema, &out);
+  }
+  return Wrap(MsgType::kScanReply, &out);
+}
+
+Result<ScanReplyMsg> ScanReplyMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ScanReplyMsg r;
+  HARBOR_ASSIGN_OR_RETURN(r.minimal, in.ReadBool());
+  if (r.minimal) {
+    HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+    r.id_deletions.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      IdDeletion d;
+      HARBOR_ASSIGN_OR_RETURN(d.tuple_id, in.ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(d.deletion_ts, in.ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(d.insertion_ts, in.ReadU64());
+      r.id_deletions.push_back(d);
+    }
+  } else {
+    HARBOR_ASSIGN_OR_RETURN(r.schema, Schema::Deserialize(&in));
+    HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+    r.tuples.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      HARBOR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r.schema, &in));
+      r.tuples.push_back(std::move(t));
+    }
+  }
+  return r;
+}
+
+Message TableLockMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU32(object_id);
+  out.WriteU32(owner_site);
+  return Wrap(type, &out);
+}
+
+Result<TableLockMsg> TableLockMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  TableLockMsg r;
+  r.type = static_cast<MsgType>(m.type);
+  HARBOR_ASSIGN_OR_RETURN(r.object_id, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(r.owner_site, in.ReadU32());
+  return r;
+}
+
+Message ComingOnlineMsg::Encode() const {
+  ByteBufferWriter out;
+  out.WriteU32(site);
+  out.WriteU32(static_cast<uint32_t>(objects.size()));
+  for (const auto& [table, partition] : objects) {
+    out.WriteU32(table);
+    partition.Serialize(&out);
+  }
+  return Wrap(MsgType::kComingOnline, &out);
+}
+
+Result<ComingOnlineMsg> ComingOnlineMsg::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ComingOnlineMsg r;
+  HARBOR_ASSIGN_OR_RETURN(r.site, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+  r.objects.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(TableId table, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(PartitionRange range,
+                            PartitionRange::Deserialize(&in));
+    r.objects.emplace_back(table, std::move(range));
+  }
+  return r;
+}
+
+Message VoteReply::Encode() const {
+  ByteBufferWriter out;
+  out.WriteBool(yes);
+  return Wrap(MsgType::kVote, &out);
+}
+
+Result<VoteReply> VoteReply::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  VoteReply r;
+  HARBOR_ASSIGN_OR_RETURN(r.yes, in.ReadBool());
+  return r;
+}
+
+Message ResolveReply::Encode() const {
+  ByteBufferWriter out;
+  out.WriteBool(known);
+  out.WriteBool(committed);
+  out.WriteU64(commit_ts);
+  return Wrap(MsgType::kResolveReply, &out);
+}
+
+Result<ResolveReply> ResolveReply::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ResolveReply r;
+  HARBOR_ASSIGN_OR_RETURN(r.known, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.committed, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.commit_ts, in.ReadU64());
+  return r;
+}
+
+Message ProbeReply::Encode() const {
+  ByteBufferWriter out;
+  out.WriteBool(known);
+  out.WriteU8(phase);
+  out.WriteBool(voted_yes);
+  out.WriteU64(pending_commit_ts);
+  out.WriteU32(static_cast<uint32_t>(participants.size()));
+  for (SiteId s : participants) out.WriteU32(s);
+  return Wrap(MsgType::kProbeReply, &out);
+}
+
+Result<ProbeReply> ProbeReply::Decode(const Message& m) {
+  ByteBufferReader in(m.payload);
+  ProbeReply r;
+  HARBOR_ASSIGN_OR_RETURN(r.known, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.phase, in.ReadU8());
+  HARBOR_ASSIGN_OR_RETURN(r.voted_yes, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.pending_commit_ts, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+  r.participants.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(r.participants[i], in.ReadU32());
+  }
+  return r;
+}
+
+}  // namespace harbor

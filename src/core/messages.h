@@ -1,0 +1,183 @@
+#ifndef HARBOR_CORE_MESSAGES_H_
+#define HARBOR_CORE_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/update_request.h"
+#include "exec/scan_spec.h"
+#include "net/network.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace harbor {
+
+/// Wire protocol message types between coordinator and worker sites.
+enum class MsgType : uint16_t {
+  // Transaction execution and commit processing (Chapter 4).
+  kExecUpdate = 1,
+  kPrepare = 2,
+  kPrepareToCommit = 3,  // 3PC only
+  kCommit = 4,
+  kAbort = 5,
+  kFinishRead = 6,  // release a read-only transaction's resources
+
+  // Query shipping.
+  kScan = 7,
+
+  // Recovery support at workers (Chapter 5).
+  kTableLock = 8,
+  kTableUnlock = 9,
+
+  // Coordinator-side services.
+  kComingOnline = 10,   // recovering site joins pending transactions (§5.4.2)
+  kResolveTxn = 11,     // ARIES in-doubt resolution (2PC restart)
+  kTxnStateProbe = 12,  // backup coordinator consensus probe (§4.3.3)
+
+  // Replies.
+  kAck = 100,
+  kVote = 101,
+  kScanReply = 102,
+  kResolveReply = 103,
+  kProbeReply = 104,
+};
+
+/// kExecUpdate: run one logical update at a worker on behalf of txn.
+struct ExecUpdateMsg {
+  TxnId txn = kInvalidTxnId;
+  SiteId coordinator = kInvalidSiteId;
+  UpdateRequest request;
+
+  Message Encode() const;
+  static Result<ExecUpdateMsg> Decode(const Message& m);
+};
+
+/// kPrepare: phase-1 vote request; carries the participant list so workers
+/// can run the consensus building protocol if the coordinator fails (§4.3.3).
+struct PrepareMsg {
+  TxnId txn = kInvalidTxnId;
+  SiteId coordinator = kInvalidSiteId;
+  std::vector<SiteId> participants;
+
+  Message Encode() const;
+  static Result<PrepareMsg> Decode(const Message& m);
+};
+
+/// kPrepareToCommit / kCommit: carry the commit time (§4.1: COMMIT messages
+/// include the commit time for all tuples modified by the transaction).
+struct CommitTsMsg {
+  MsgType type = MsgType::kCommit;
+  TxnId txn = kInvalidTxnId;
+  Timestamp commit_ts = 0;
+
+  Message Encode() const;
+  static Result<CommitTsMsg> Decode(const Message& m);
+};
+
+/// kAbort / kFinishRead / kResolveTxn / kTxnStateProbe: transaction id only.
+struct TxnMsg {
+  MsgType type = MsgType::kAbort;
+  TxnId txn = kInvalidTxnId;
+
+  Message Encode() const;
+  static Result<TxnMsg> Decode(const Message& m);
+};
+
+/// kScan: ship a scan plan to a site. `minimal_projection` returns only
+/// (tuple_id, deletion_time, insertion_time) triples — the recovery
+/// deletion queries of §5.3 and §5.4.1 need nothing more, which shrinks the
+/// transfer; the insertion time lets the recovering site prune its local
+/// UPDATE to the segments that can contain the matching versions.
+struct ScanMsg {
+  ScanSpec spec;
+  LockOwnerId owner = 0;
+  bool with_page_locks = false;
+  bool minimal_projection = false;
+
+  Message Encode() const;
+  static Result<ScanMsg> Decode(const Message& m);
+};
+
+/// One row of a minimal-projection scan reply.
+struct IdDeletion {
+  TupleId tuple_id = 0;
+  Timestamp deletion_ts = 0;
+  Timestamp insertion_ts = 0;
+
+  bool operator==(const IdDeletion&) const = default;
+};
+
+/// kScanReply: materialized result set.
+struct ScanReplyMsg {
+  bool minimal = false;
+  // Full mode: the executing object's physical schema plus tuples.
+  Schema schema;
+  std::vector<Tuple> tuples;
+  // Minimal mode: (tuple_id, deletion_time, insertion_time) triples.
+  std::vector<IdDeletion> id_deletions;
+
+  Message Encode() const;
+  static Result<ScanReplyMsg> Decode(const Message& m);
+};
+
+/// kTableLock / kTableUnlock: recovery's table-granularity read locks on
+/// recovery objects (§5.4.1), owned by the recovering *site*.
+struct TableLockMsg {
+  MsgType type = MsgType::kTableLock;
+  ObjectId object_id = 0;
+  SiteId owner_site = kInvalidSiteId;
+
+  Message Encode() const;
+  static Result<TableLockMsg> Decode(const Message& m);
+};
+
+/// kComingOnline: "rec on S is coming online" (§5.4.2); the coordinator
+/// forwards the relevant queued updates of every pending transaction to S
+/// before replying "all done". Carries every recovered object's (table,
+/// partition) so relevance can be checked per queued request.
+struct ComingOnlineMsg {
+  SiteId site = kInvalidSiteId;
+  std::vector<std::pair<TableId, PartitionRange>> objects;
+
+  Message Encode() const;
+  static Result<ComingOnlineMsg> Decode(const Message& m);
+};
+
+struct VoteReply {
+  bool yes = false;
+
+  Message Encode() const;
+  static Result<VoteReply> Decode(const Message& m);
+};
+
+/// kResolveReply: outcome of an in-doubt transaction.
+struct ResolveReply {
+  bool known = false;
+  bool committed = false;
+  Timestamp commit_ts = 0;
+
+  Message Encode() const;
+  static Result<ResolveReply> Decode(const Message& m);
+};
+
+/// kProbeReply: a worker's local state of a transaction, for the backup
+/// coordinator's action table (Table 4.1).
+struct ProbeReply {
+  bool known = false;
+  uint8_t phase = 0;  // TxnPhase
+  bool voted_yes = false;
+  Timestamp pending_commit_ts = 0;
+  std::vector<SiteId> participants;
+
+  Message Encode() const;
+  static Result<ProbeReply> Decode(const Message& m);
+};
+
+/// Empty ACK.
+Message AckMessage();
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_MESSAGES_H_

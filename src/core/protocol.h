@@ -1,0 +1,60 @@
+#ifndef HARBOR_CORE_PROTOCOL_H_
+#define HARBOR_CORE_PROTOCOL_H_
+
+namespace harbor {
+
+/// The four commit protocols of §4.3 (Table 4.2), plus the logless
+/// one-phase variant §4.3.2 sketches for "special frameworks where workers
+/// can verify integrity constraints after each update operation" (the
+/// PREPARE round becomes unnecessary; this implementation's workers verify
+/// everything per-operation, so the precondition holds):
+///
+/// | protocol           | msgs/worker | coord forces | worker forces |
+/// |--------------------|-------------|--------------|---------------|
+/// | traditional 2PC    | 4           | 1            | 2             |
+/// | optimized 2PC      | 4           | 1            | 0             |
+/// | canonical 3PC      | 6           | 0            | 3             |
+/// | optimized 3PC      | 6           | 0            | 0             |
+/// | optimized 1PC      | 2           | 0            | 0             |
+enum class CommitProtocol {
+  kTraditional2PC = 0,
+  kOptimized2PC = 1,
+  kCanonical3PC = 2,
+  kOptimized3PC = 3,
+  kOptimized1PC = 4,
+};
+
+inline const char* CommitProtocolToString(CommitProtocol p) {
+  switch (p) {
+    case CommitProtocol::kTraditional2PC: return "traditional-2PC";
+    case CommitProtocol::kOptimized2PC: return "optimized-2PC";
+    case CommitProtocol::kCanonical3PC: return "canonical-3PC";
+    case CommitProtocol::kOptimized3PC: return "optimized-3PC";
+    case CommitProtocol::kOptimized1PC: return "optimized-1PC";
+  }
+  return "?";
+}
+
+/// Workers keep an on-disk log (and force it during commit processing) only
+/// under the unoptimized protocols; HARBOR's optimized variants recover from
+/// replicas instead (§4.3.2).
+inline bool WorkerLogs(CommitProtocol p) {
+  return p == CommitProtocol::kTraditional2PC ||
+         p == CommitProtocol::kCanonical3PC;
+}
+
+/// The coordinator force-writes its commit/abort decision only under 2PC;
+/// 3PC's extra round makes the coordinator log unnecessary (§4.3.3).
+inline bool CoordinatorLogs(CommitProtocol p) {
+  return p == CommitProtocol::kTraditional2PC ||
+         p == CommitProtocol::kOptimized2PC;
+}
+
+inline bool IsThreePhase(CommitProtocol p) {
+  return p == CommitProtocol::kCanonical3PC ||
+         p == CommitProtocol::kOptimized3PC;
+}
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_PROTOCOL_H_

@@ -1,0 +1,415 @@
+#include "core/recovery_manager.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "core/messages.h"
+#include "exec/seq_scan.h"
+
+namespace harbor {
+
+RecoveryManager::RecoveryManager(Worker* worker, RecoveryOptions options)
+    : worker_(worker), options_(std::move(options)) {}
+
+bool RecoveryManager::BuddyUsable(SiteId site) const {
+  return site != worker_->site_id() &&
+         worker_->liveness()->IsOnline(site);
+}
+
+Status RecoveryManager::ComputeCover(ObjectPlan* plan) {
+  HARBOR_ASSIGN_OR_RETURN(
+      plan->cover,
+      worker_->global_catalog()->PlanCover(
+          plan->obj->table_id, plan->obj->partition, worker_->site_id(),
+          [this](SiteId s) { return BuddyUsable(s); }));
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- Phase 1
+
+Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
+  Stopwatch watch;
+  VersionStore* store = worker_->store();
+  TableObject* obj = plan->obj;
+
+  // DELETE LOCALLY FROM rec SEE DELETED
+  //   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+  // (the uncommitted sentinel is numerically > any checkpoint, §5.2).
+  {
+    ScanSpec spec;
+    spec.object_id = obj->object_id;
+    spec.mode = ScanMode::kSeeDeleted;
+    spec.has_insertion_after = true;
+    spec.insertion_after = plan->checkpoint;
+    SeqScanOperator scan(store, obj, std::move(spec));
+    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> victims, CollectAll(&scan));
+    for (const Tuple& t : victims) {
+      HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
+    }
+    plan->stats.phase1_removed = victims.size();
+  }
+
+  // UPDATE LOCALLY rec SET deletion_time = 0 SEE DELETED
+  //   WHERE deletion_time > T_checkpoint
+  {
+    ScanSpec spec;
+    spec.object_id = obj->object_id;
+    spec.mode = ScanMode::kSeeDeleted;
+    spec.has_deletion_after = true;
+    spec.deletion_after = plan->checkpoint;
+    SeqScanOperator scan(store, obj, std::move(spec));
+    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> deleted, CollectAll(&scan));
+    for (const Tuple& t : deleted) {
+      HARBOR_RETURN_NOT_OK(
+          store->SetDeletionTs(obj, t.record_id(), kNotDeleted));
+    }
+    plan->stats.phase1_undeleted = deleted.size();
+  }
+
+  plan->stats.phase1_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- Phase 2
+
+Status RecoveryManager::ApplyRemoteDeletions(ObjectPlan* plan,
+                                             const RecoveryObject& piece,
+                                             Timestamp from_exclusive,
+                                             Timestamp hwm, bool historical,
+                                             size_t* copied) {
+  // SELECT REMOTELY tuple_id, deletion_time FROM recovery_object
+  //   SEE DELETED [HISTORICAL WITH TIME hwm]
+  //   WHERE recovery_predicate AND insertion_time <= from
+  //     AND deletion_time > from
+  ScanMsg scan;
+  scan.spec.object_id = piece.object_id;
+  scan.spec.mode = historical ? ScanMode::kSeeDeletedHistorical
+                              : ScanMode::kSeeDeleted;
+  scan.spec.as_of = hwm;
+  scan.spec.has_insertion_at_or_before = true;
+  scan.spec.insertion_at_or_before = from_exclusive;
+  scan.spec.has_deletion_after = true;
+  scan.spec.deletion_after = from_exclusive;
+  scan.spec.range = piece.predicate;
+  scan.minimal_projection = true;
+  HARBOR_ASSIGN_OR_RETURN(
+      Message reply,
+      worker_->network()->Call(worker_->site_id(), piece.site,
+                               scan.Encode()));
+  HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(reply));
+
+  if (decoded.id_deletions.empty()) return Status::OK();
+
+  // UPDATE LOCALLY rec SET deletion_time = del_time
+  //   WHERE tuple_id = tup_id AND deletion_time = 0
+  // The matching local version shares the remote version's insertion time,
+  // so the scan below prunes to the segments whose insertion range covers
+  // the shipped timestamps — the local side of recovery pays per *affected
+  // historical segment*, exactly like the remote side (§6.4.2).
+  VersionStore* store = worker_->store();
+  TableObject* obj = plan->obj;
+  std::unordered_map<TupleId, Timestamp> wanted;
+  Timestamp lo = decoded.id_deletions.front().insertion_ts;
+  Timestamp hi = lo;
+  for (const IdDeletion& d : decoded.id_deletions) {
+    wanted.emplace(d.tuple_id, d.deletion_ts);
+    lo = std::min(lo, d.insertion_ts);
+    hi = std::max(hi, d.insertion_ts);
+  }
+  ScanSpec local;
+  local.object_id = obj->object_id;
+  local.mode = ScanMode::kSeeDeleted;
+  local.has_insertion_after = true;
+  local.insertion_after = lo - 1;
+  local.has_insertion_at_or_before = true;
+  local.insertion_at_or_before = hi;
+  SeqScanOperator local_scan(store, obj, std::move(local));
+  HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> candidates,
+                          CollectAll(&local_scan));
+  for (const Tuple& t : candidates) {
+    if (t.deletion_ts() != kNotDeleted) continue;  // older version
+    auto it = wanted.find(t.tuple_id());
+    if (it == wanted.end()) continue;
+    HARBOR_RETURN_NOT_OK(store->SetDeletionTs(obj, t.record_id(), it->second));
+    (*copied)++;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::CopyRemoteInsertions(ObjectPlan* plan,
+                                             const RecoveryObject& piece,
+                                             Timestamp from_exclusive,
+                                             Timestamp hwm, bool historical,
+                                             size_t* copied) {
+  // INSERT LOCALLY INTO rec
+  //   (SELECT REMOTELY * FROM recovery_object SEE DELETED
+  //      [HISTORICAL WITH TIME hwm]
+  //      WHERE recovery_predicate AND insertion_time > from
+  //        [AND insertion_time != uncommitted])
+  ScanMsg scan;
+  scan.spec.object_id = piece.object_id;
+  scan.spec.mode = historical ? ScanMode::kSeeDeletedHistorical
+                              : ScanMode::kSeeDeleted;
+  scan.spec.as_of = hwm;
+  scan.spec.has_insertion_after = true;
+  scan.spec.insertion_after = from_exclusive;
+  scan.spec.exclude_uncommitted = !historical;  // §5.4.1's extra check
+  scan.spec.range = piece.predicate;
+  HARBOR_ASSIGN_OR_RETURN(
+      Message reply,
+      worker_->network()->Call(worker_->site_id(), piece.site,
+                               scan.Encode()));
+  HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(reply));
+
+  VersionStore* store = worker_->store();
+  TableObject* obj = plan->obj;
+  // Replicas may store columns in different orders; copy by name (§3.1).
+  HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                          obj->schema.MappingFrom(decoded.schema));
+  for (const Tuple& t : decoded.tuples) {
+    HARBOR_RETURN_NOT_OK(
+        store->InsertCommittedTuple(obj, t.RemapColumns(mapping)).status());
+    (*copied)++;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
+  for (const RecoveryObject& piece : plan->cover) {
+    Stopwatch del_watch;
+    HARBOR_RETURN_NOT_OK(ApplyRemoteDeletions(
+        plan, piece, plan->checkpoint, hwm, /*historical=*/true,
+        &plan->stats.phase2_deletions_copied));
+    plan->stats.phase2_delete_seconds += del_watch.ElapsedSeconds();
+
+    Stopwatch ins_watch;
+    HARBOR_RETURN_NOT_OK(CopyRemoteInsertions(
+        plan, piece, plan->checkpoint, hwm, /*historical=*/true,
+        &plan->stats.phase2_tuples_copied));
+    plan->stats.phase2_insert_seconds += ins_watch.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
+  TimestampAuthority* authority = worker_->authority();
+  for (int round = 0; round < options_.max_phase2_rounds; ++round) {
+    const Timestamp hwm = authority->StableTime();
+    if (hwm <= plan->checkpoint && round > 0) break;
+    HARBOR_RETURN_NOT_OK(ComputeCover(plan));
+    if (hwm > plan->checkpoint) {
+      HARBOR_RETURN_NOT_OK(RunPhase2Round(plan, hwm));
+    }
+    plan->stats.phase2_rounds = round + 1;
+    plan->hwm = hwm;
+    // rec is now consistent up to the HWM: flush and record an
+    // object-granularity checkpoint so a crash during recovery resumes
+    // from here (§5.3).
+    HARBOR_RETURN_NOT_OK(worker_->pool()->FlushAll());
+    HARBOR_RETURN_NOT_OK(plan->obj->file->SyncHeaderIfDirty());
+    HARBOR_RETURN_NOT_OK(
+        worker_->WriteObjectCheckpoint(plan->obj->object_id, hwm));
+    plan->checkpoint = hwm;
+    // Stop iterating once we are close enough to the present for Phase 3's
+    // locked queries to be cheap.
+    if (authority->StableTime() - hwm <= options_.phase2_lag_threshold) break;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- Phase 3
+
+Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
+                                  double* out_seconds) {
+  Stopwatch watch;
+  Network* net = worker_->network();
+  const SiteId self = worker_->site_id();
+
+  // Fresh covers (liveness may have changed since Phase 2).
+  for (ObjectPlan& plan : *plans) {
+    HARBOR_RETURN_NOT_OK(ComputeCover(&plan));
+  }
+
+  // Acquire a read lock on EVERY recovery object at once (§5.4.1), in a
+  // global order to avoid deadlocks between concurrently recovering sites;
+  // retry until all are granted.
+  std::vector<std::pair<SiteId, ObjectId>> locks;
+  for (const ObjectPlan& plan : *plans) {
+    for (const RecoveryObject& piece : plan.cover) {
+      locks.emplace_back(piece.site, piece.object_id);
+    }
+  }
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+
+  Status acquired = Status::OK();
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    acquired = Status::OK();
+    std::vector<std::pair<SiteId, ObjectId>> held;
+    for (const auto& [site, object] : locks) {
+      TableLockMsg msg;
+      msg.type = MsgType::kTableLock;
+      msg.object_id = object;
+      msg.owner_site = self;
+      auto r = net->Call(self, site, msg.Encode());
+      if (!r.ok()) {
+        acquired = r.status();
+        break;
+      }
+      held.emplace_back(site, object);
+    }
+    if (acquired.ok()) break;
+    for (const auto& [site, object] : held) {
+      TableLockMsg msg;
+      msg.type = MsgType::kTableUnlock;
+      msg.object_id = object;
+      msg.owner_site = self;
+      (void)net->Call(self, site, msg.Encode());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  HARBOR_RETURN_NOT_OK(acquired);
+
+  // With the locks held no pending update transaction touching these
+  // objects can commit; copy the final delta with ordinary (non-historical)
+  // SEE DELETED queries (§5.4.1).
+  Status st = Status::OK();
+  for (ObjectPlan& plan : *plans) {
+    for (const RecoveryObject& piece : plan.cover) {
+      st = ApplyRemoteDeletions(&plan, piece, plan.hwm, 0,
+                                /*historical=*/false,
+                                &plan.stats.phase3_deletions_copied);
+      if (!st.ok()) break;
+      st = CopyRemoteInsertions(&plan, piece, plan.hwm, 0,
+                                /*historical=*/false,
+                                &plan.stats.phase3_tuples_copied);
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) break;
+  }
+
+  Timestamp checkpoint_time = worker_->authority()->Now() - 1;
+  if (st.ok()) {
+    st = worker_->pool()->FlushAll();
+  }
+  if (st.ok()) {
+    for (ObjectPlan& plan : *plans) {
+      st = plan.obj->file->SyncHeaderIfDirty();
+      if (!st.ok()) break;
+      st = worker_->WriteObjectCheckpoint(plan.obj->object_id,
+                                          checkpoint_time);
+      if (!st.ok()) break;
+    }
+  }
+
+  // Join pending transactions: tell every coordinator that rec on S is
+  // coming online; the reply is the "all done" of Figure 5-4.
+  if (st.ok()) {
+    ComingOnlineMsg online;
+    online.site = self;
+    for (const ObjectPlan& plan : *plans) {
+      online.objects.emplace_back(plan.obj->table_id, plan.obj->partition);
+    }
+    for (SiteId coordinator : options_.coordinators) {
+      auto r = net->Call(self, coordinator, online.Encode());
+      if (!r.ok() && !r.status().IsUnavailable()) {
+        st = r.status();
+        break;
+      }
+    }
+  }
+
+  // Release the recovery locks whether or not we succeeded; a failure path
+  // restarts recovery and must not leave buddies blocked (§5.5).
+  for (const auto& [site, object] : locks) {
+    TableLockMsg msg;
+    msg.type = MsgType::kTableUnlock;
+    msg.object_id = object;
+    msg.owner_site = self;
+    (void)net->Call(self, site, msg.Encode());
+  }
+  HARBOR_RETURN_NOT_OK(st);
+
+  // All objects recovered: collapse to a single global checkpoint (§5.3).
+  HARBOR_RETURN_NOT_OK(worker_->PromoteGlobalCheckpoint(checkpoint_time));
+  worker_->liveness()->Set(self, SiteState::kOnline);
+  *out_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- driver
+
+Result<RecoveryStats> RecoveryManager::Recover() {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    worker_->PauseCheckpoints(true);
+    RecoveryStats stats;
+    Stopwatch total;
+
+    HARBOR_ASSIGN_OR_RETURN(CheckpointRecord ckpt, worker_->LastCheckpoint());
+    std::vector<ObjectPlan> plans;
+    for (TableObject* obj : worker_->local_catalog()->objects()) {
+      ObjectPlan plan;
+      plan.obj = obj;
+      plan.checkpoint = ckpt.TimeFor(obj->object_id);
+      plan.hwm = plan.checkpoint;
+      plan.stats.object_id = obj->object_id;
+      plans.push_back(std::move(plan));
+    }
+
+    // Phases 1-2, per object — in parallel when configured (§5.1: "multiple
+    // rec objects ... recovered in parallel; each object proceeds through
+    // the phases at its own pace").
+    auto run_offline_phases = [this](ObjectPlan* plan) -> Status {
+      HARBOR_RETURN_NOT_OK(RunPhase1(plan));
+      return RunPhase2(plan);
+    };
+    Stopwatch offline_watch;
+    std::vector<Status> results(plans.size(), Status::OK());
+    if (options_.parallel && plans.size() > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(plans.size());
+      for (size_t i = 0; i < plans.size(); ++i) {
+        threads.emplace_back([&, i] { results[i] = run_offline_phases(&plans[i]); });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (size_t i = 0; i < plans.size(); ++i) {
+        results[i] = run_offline_phases(&plans[i]);
+      }
+    }
+    const double offline_seconds = offline_watch.ElapsedSeconds();
+    last = Status::OK();
+    for (const Status& s : results) {
+      if (!s.ok()) last = s;
+    }
+    if (!last.ok()) {
+      // Recovery buddy failed mid-phase: restart with a fresh plan (§5.5.2)
+      // from the per-object checkpoints already recorded.
+      continue;
+    }
+
+    double phase3_seconds = 0;
+    last = RunPhase3(&plans, &phase3_seconds);
+    if (!last.ok()) continue;
+
+    for (const ObjectPlan& plan : plans) {
+      stats.objects.push_back(plan.stats);
+      stats.phase1_seconds =
+          std::max(stats.phase1_seconds, plan.stats.phase1_seconds);
+    }
+    stats.phase2_seconds = offline_seconds - stats.phase1_seconds;
+    if (stats.phase2_seconds < 0) stats.phase2_seconds = 0;
+    stats.phase3_seconds = phase3_seconds;
+    stats.total_seconds = total.ElapsedSeconds();
+    worker_->PauseCheckpoints(false);
+    return stats;
+  }
+  worker_->PauseCheckpoints(false);
+  HARBOR_RETURN_NOT_OK(last);
+  return Status::Internal("recovery retries exhausted");
+}
+
+}  // namespace harbor

@@ -1,0 +1,104 @@
+#ifndef HARBOR_CORE_RECOVERY_MANAGER_H_
+#define HARBOR_CORE_RECOVERY_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/worker.h"
+
+namespace harbor {
+
+struct RecoveryOptions {
+  /// Recover multiple objects in parallel, one thread per object (§5.1,
+  /// evaluated in §6.4).
+  bool parallel = true;
+  /// Re-run Phase 2 while the stable time has moved more than this past the
+  /// object's HWM, up to the round cap (§5.3: "Phase 2 can be repeated
+  /// additional times before proceeding to Phase 3").
+  Timestamp phase2_lag_threshold = 2;
+  int max_phase2_rounds = 4;
+  /// Whole-recovery retattempts after a recovery-buddy failure (§5.5.2).
+  int max_attempts = 3;
+  /// Coordinator sites to notify with "coming online" (§5.4.2).
+  std::vector<SiteId> coordinators;
+};
+
+/// Per-object recovery measurements; the basis of Figures 6-4 to 6-6.
+struct ObjectRecoveryStats {
+  ObjectId object_id = 0;
+  double phase1_seconds = 0;
+  double phase2_delete_seconds = 0;  // SELECT + UPDATE of deletions (§5.3)
+  double phase2_insert_seconds = 0;  // SELECT + INSERT of new tuples
+  size_t phase1_removed = 0;
+  size_t phase1_undeleted = 0;
+  size_t phase2_deletions_copied = 0;
+  size_t phase2_tuples_copied = 0;
+  size_t phase3_deletions_copied = 0;
+  size_t phase3_tuples_copied = 0;
+  int phase2_rounds = 0;
+  Timestamp hwm = 0;
+};
+
+struct RecoveryStats {
+  double phase1_seconds = 0;  // max across objects (parallel) or sum
+  double phase2_seconds = 0;
+  double phase3_seconds = 0;
+  double total_seconds = 0;
+  std::vector<ObjectRecoveryStats> objects;
+};
+
+/// \brief HARBOR's three-phase replica-query recovery (Chapter 5).
+///
+/// Runs on a restarted worker whose endpoint is up in the kRecovering state:
+///  - Phase 1 restores the local state to the last checkpoint by removing
+///    tuples inserted after it (or uncommitted) and undoing deletions after
+///    it — two local queries driven by the segment directory (§5.2).
+///  - Phase 2 catches up to a high water mark with *lock-free historical
+///    queries* against recovery buddies chosen from the catalog; the system
+///    is never quiesced (§5.3).
+///  - Phase 3 takes table-granularity read locks on every recovery object
+///    at once, copies the final delta with ordinary queries, then joins
+///    pending transactions through the coordinator and comes online (§5.4).
+///
+/// Buddy failures restart the affected recovery with a fresh plan (§5.5.2);
+/// failures of the recovering site itself simply leave its per-object
+/// checkpoints behind for the next attempt (§5.5.1).
+class RecoveryManager {
+ public:
+  RecoveryManager(Worker* worker, RecoveryOptions options);
+
+  /// Recovers every local object and brings the site online.
+  Result<RecoveryStats> Recover();
+
+ private:
+  struct ObjectPlan {
+    TableObject* obj = nullptr;
+    Timestamp checkpoint = 0;
+    Timestamp hwm = 0;
+    std::vector<RecoveryObject> cover;
+    ObjectRecoveryStats stats;
+  };
+
+  Status RunPhase1(ObjectPlan* plan);
+  Status RunPhase2(ObjectPlan* plan);
+  Status RunPhase2Round(ObjectPlan* plan, Timestamp hwm);
+  Status RunPhase3(std::vector<ObjectPlan>* plans, double* out_seconds);
+
+  Status ComputeCover(ObjectPlan* plan);
+  Status ApplyRemoteDeletions(ObjectPlan* plan, const RecoveryObject& piece,
+                              Timestamp from_exclusive, Timestamp hwm,
+                              bool historical, size_t* copied);
+  Status CopyRemoteInsertions(ObjectPlan* plan, const RecoveryObject& piece,
+                              Timestamp from_exclusive, Timestamp hwm,
+                              bool historical, size_t* copied);
+
+  bool BuddyUsable(SiteId site) const;
+
+  Worker* const worker_;
+  const RecoveryOptions options_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_RECOVERY_MANAGER_H_

@@ -1,0 +1,57 @@
+#include "core/update_request.h"
+
+#include "storage/value_serde.h"
+
+namespace harbor {
+
+void UpdateRequest::Serialize(ByteBufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind));
+  out->WriteU32(table_id);
+  out->WriteU32(static_cast<uint32_t>(values.size()));
+  for (const Value& v : values) WriteValue(out, v);
+  out->WriteU64(tuple_id);
+  predicate.Serialize(out);
+  out->WriteU32(static_cast<uint32_t>(sets.size()));
+  for (const SetClause& s : sets) s.Serialize(out);
+  out->WriteI64(cpu_work_cycles);
+}
+
+Result<UpdateRequest> UpdateRequest::Deserialize(ByteBufferReader* in) {
+  UpdateRequest r;
+  HARBOR_ASSIGN_OR_RETURN(uint8_t kind, in->ReadU8());
+  r.kind = static_cast<Kind>(kind);
+  HARBOR_ASSIGN_OR_RETURN(r.table_id, in->ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t nv, in->ReadU32());
+  r.values.reserve(nv);
+  for (uint32_t i = 0; i < nv; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+    r.values.push_back(std::move(v));
+  }
+  HARBOR_ASSIGN_OR_RETURN(r.tuple_id, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.predicate, Predicate::Deserialize(in));
+  HARBOR_ASSIGN_OR_RETURN(uint32_t ns, in->ReadU32());
+  r.sets.reserve(ns);
+  for (uint32_t i = 0; i < ns; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(SetClause s, SetClause::Deserialize(in));
+    r.sets.push_back(std::move(s));
+  }
+  HARBOR_ASSIGN_OR_RETURN(r.cpu_work_cycles, in->ReadI64());
+  return r;
+}
+
+std::string UpdateRequest::ToString() const {
+  switch (kind) {
+    case Kind::kInsert:
+      return "INSERT INTO t" + std::to_string(table_id) + " (tid=" +
+             std::to_string(tuple_id) + ")";
+    case Kind::kDelete:
+      return "DELETE FROM t" + std::to_string(table_id) + " WHERE " +
+             predicate.ToString();
+    case Kind::kUpdate:
+      return "UPDATE t" + std::to_string(table_id) + " WHERE " +
+             predicate.ToString();
+  }
+  return "?";
+}
+
+}  // namespace harbor

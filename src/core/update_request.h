@@ -1,0 +1,50 @@
+#ifndef HARBOR_CORE_UPDATE_REQUEST_H_
+#define HARBOR_CORE_UPDATE_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "exec/dml.h"
+#include "exec/predicate.h"
+#include "storage/value.h"
+
+namespace harbor {
+
+/// \brief One logical update of a transaction, as queued by the coordinator
+/// (§4.1: "Each update request can be represented simply by the update's SQL
+/// statement or a parsed version of that statement" — this is the parsed
+/// version).
+///
+/// The queue of these per transaction is what lets a recovering site join
+/// pending transactions (§5.4.2): the coordinator forwards the relevant
+/// requests verbatim.
+struct UpdateRequest {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1, kUpdate = 2 };
+
+  Kind kind = Kind::kInsert;
+  TableId table_id = 0;
+
+  // kInsert: values in the table's logical schema order, plus the
+  // coordinator-assigned tuple id shared by every replica (§5.3).
+  std::vector<Value> values;
+  TupleId tuple_id = 0;
+
+  // kDelete / kUpdate:
+  Predicate predicate;
+  std::vector<SetClause> sets;  // kUpdate only
+
+  /// Simulated per-site CPU work attached to this request: ETL processing,
+  /// compression, derived fields, materialized-view maintenance (§6.3.2).
+  int64_t cpu_work_cycles = 0;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<UpdateRequest> Deserialize(ByteBufferReader* in);
+  std::string ToString() const;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_UPDATE_REQUEST_H_

@@ -1,0 +1,658 @@
+#include "core/worker.h"
+
+#include <algorithm>
+
+#include "exec/dml.h"
+#include "exec/seq_scan.h"
+
+namespace harbor {
+
+namespace {
+
+int64_t IntOf(const Value& v) {
+  switch (v.type()) {
+    case ColumnType::kInt32: return v.AsInt32();
+    case ColumnType::kInt64: return v.AsInt64();
+    default: return static_cast<int64_t>(v.AsNumeric());
+  }
+}
+
+}  // namespace
+
+Worker::Runtime::Runtime(const WorkerOptions& options)
+    : data_disk("site" + std::to_string(options.site_id) + "-data",
+                options.sim),
+      log_disk("site" + std::to_string(options.site_id) + "-log", options.sim),
+      cpu(options.sim),
+      fm(options.dir, &data_disk),
+      catalog(&fm),
+      pool(&fm, options.buffer_pages),
+      locks(options.lock_timeout) {}
+
+Worker::Worker(Network* network, GlobalCatalog* catalog,
+               TimestampAuthority* authority, LivenessDirectory* liveness,
+               WorkerOptions options)
+    : network_(network),
+      catalog_(catalog),
+      authority_(authority),
+      liveness_(liveness),
+      options_(std::move(options)) {
+  network_->SubscribeCrash([this](SiteId crashed) { OnSiteCrash(crashed); });
+}
+
+Worker::~Worker() { Crash(); }
+
+Status Worker::Start(SiteState target_state) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load()) return Status::AlreadyExists("worker already running");
+
+  rt_ = std::make_unique<Runtime>(options_);
+  Runtime* rt = rt_.get();
+  HARBOR_RETURN_NOT_OK(rt->catalog.OpenAll());
+  if (WorkerLogs(options_.protocol)) {
+    HARBOR_ASSIGN_OR_RETURN(
+        rt->log,
+        LogManager::Open(options_.dir, &rt->log_disk, options_.group_commit));
+  }
+  rt->store = std::make_unique<VersionStore>(&rt->catalog, &rt->pool,
+                                             &rt->locks, rt->log.get(),
+                                             &rt->txns);
+  rt->pool.set_header_sync_hook([this](uint32_t file_id) -> Status {
+    Runtime* r = rt_.get();
+    if (r == nullptr) return Status::OK();
+    auto obj = r->catalog.GetObject(file_id);
+    if (!obj.ok()) return Status::OK();  // not a table file
+    return (*obj)->file->SyncHeaderIfDirty();
+  });
+  if (rt->log != nullptr) {
+    rt->pool.set_wal_flush_hook([this](Lsn lsn) -> Status {
+      Runtime* r = rt_.get();
+      if (r == nullptr || r->log == nullptr) return Status::OK();
+      return r->log->Flush(lsn);
+    });
+    // ARIES restart recovery: the log-based baseline's path back to a
+    // consistent state (§6.1.7).
+    AriesRecovery aries(&rt->catalog, &rt->pool, rt->log.get());
+    InDoubtResolver resolver = [this](TxnId txn) -> Result<InDoubtOutcome> {
+      TxnMsg probe;
+      probe.type = MsgType::kResolveTxn;
+      probe.txn = txn;
+      auto reply = network_->Call(options_.site_id,
+                                  options_.default_coordinator,
+                                  probe.Encode());
+      if (!reply.ok()) return reply.status();
+      HARBOR_ASSIGN_OR_RETURN(ResolveReply r, ResolveReply::Decode(*reply));
+      // "If no information, then abort" (presumed abort, §4.3.2).
+      return InDoubtOutcome{r.known && r.committed, r.commit_ts};
+    };
+    HARBOR_RETURN_NOT_OK(aries.Recover(resolver).status());
+  }
+  // Indices are volatile and rebuilt lazily on first need — "recovered as
+  // a side effect" of recovery touching the object (§5.1).
+
+  HARBOR_RETURN_NOT_OK(network_->RegisterSite(
+      options_.site_id,
+      [this](SiteId from, const Message& m) { return Handle(from, m); },
+      options_.server_threads));
+  liveness_->Set(options_.site_id, target_state);
+
+  if (options_.checkpoint_period_ms > 0) {
+    rt->checkpoint_thread = std::thread([this] { CheckpointLoop(); });
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+Status Worker::ProvisionReplicas() {
+  Runtime* rt = rt_.get();
+  HARBOR_CHECK(rt != nullptr);
+  for (const TableDef* table : catalog_->tables()) {
+    for (const ReplicaPlacement& p : table->replicas) {
+      if (p.site != options_.site_id) continue;
+      if (rt->catalog.GetObject(p.object_id).ok()) continue;
+      HARBOR_RETURN_NOT_OK(
+          rt->catalog
+              .CreateObject(p.object_id, table->id,
+                            table->name + "@" +
+                                std::to_string(options_.site_id),
+                            p.physical_schema, p.partition,
+                            p.segment_page_budget, p.indexed_column)
+              .status());
+    }
+  }
+  return Status::OK();
+}
+
+void Worker::Crash() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load() || rt_ == nullptr) return;
+  running_ = false;
+  liveness_->Set(options_.site_id, SiteState::kDown);
+  Runtime* rt = rt_.get();
+  rt->locks.Shutdown();  // unblock handler threads stuck in lock waits
+  {
+    std::lock_guard<std::mutex> lock(rt->bg_mu);
+    rt->stopping = true;
+  }
+  rt->bg_cv.notify_all();
+  network_->CrashSite(options_.site_id);  // drains handlers, fires subscribers
+  if (rt->checkpoint_thread.joinable()) rt->checkpoint_thread.join();
+  std::vector<std::thread> consensus;
+  {
+    std::lock_guard<std::mutex> lock(rt->bg_mu);
+    consensus.swap(rt->consensus_threads);
+  }
+  for (std::thread& t : consensus) {
+    if (t.joinable()) t.join();
+  }
+  // Destroying the runtime drops the buffer pool (no flush — unflushed
+  // pages are lost), the lock tables, the in-memory insertion/deletion
+  // lists, and the unforced log tail. Files survive.
+  rt_.reset();
+}
+
+// ----------------------------------------------------------- checkpoints
+
+Status Worker::WriteCheckpoint() {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  // Figure 3-2: pick T such that every commit at or before T has fully
+  // applied (StableTime guarantees no in-flight commit <= T anywhere),
+  // snapshot the dirty pages table, flush each page under its latch, then
+  // record T.
+  const Timestamp t = authority_->StableTime();
+  for (TableObject* obj : rt->catalog.objects()) {
+    obj->file->ResetUncommittedFlags(rt->store->SegmentsWithUncommitted(obj));
+  }
+  for (const PageId& page : rt->pool.DirtyPageSnapshot()) {
+    HARBOR_RETURN_NOT_OK(rt->pool.FlushPage(page));
+  }
+  for (TableObject* obj : rt->catalog.objects()) {
+    HARBOR_RETURN_NOT_OK(obj->file->SyncHeaderIfDirty());
+  }
+  std::lock_guard<std::mutex> file_lock(checkpoint_file_mu_);
+  HARBOR_ASSIGN_OR_RETURN(CheckpointRecord rec,
+                          ReadCheckpointRecord(options_.dir));
+  if (t <= rec.global_time && rec.per_object.empty()) {
+    return Status::OK();  // nothing newer to claim
+  }
+  rec.global_time = std::max(rec.global_time, t);
+  HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
+  rt->data_disk.ChargeForcedWrite(64);
+  return Status::OK();
+}
+
+Result<CheckpointRecord> Worker::LastCheckpoint() const {
+  return ReadCheckpointRecord(options_.dir);
+}
+
+Status Worker::WriteObjectCheckpoint(ObjectId object, Timestamp t) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  std::lock_guard<std::mutex> file_lock(checkpoint_file_mu_);
+  HARBOR_ASSIGN_OR_RETURN(CheckpointRecord rec,
+                          ReadCheckpointRecord(options_.dir));
+  rec.per_object[object] = t;
+  HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
+  rt->data_disk.ChargeForcedWrite(64);
+  return Status::OK();
+}
+
+Status Worker::PromoteGlobalCheckpoint(Timestamp t) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  std::lock_guard<std::mutex> file_lock(checkpoint_file_mu_);
+  CheckpointRecord rec;
+  rec.global_time = t;
+  HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
+  rt->data_disk.ChargeForcedWrite(64);
+  return Status::OK();
+}
+
+void Worker::CheckpointLoop() {
+  Runtime* rt = rt_.get();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(rt->bg_mu);
+      if (rt->bg_cv.wait_for(
+              lock, std::chrono::milliseconds(options_.checkpoint_period_ms),
+              [rt] { return rt->stopping; })) {
+        return;
+      }
+    }
+    if (checkpoints_paused_.load()) continue;
+    if (rt->log != nullptr) {
+      // ARIES mode: fuzzy checkpoint, no page flushing.
+      (void)AriesRecovery::WriteCheckpoint(rt->log.get(), &rt->pool,
+                                           &rt->txns);
+    } else {
+      (void)WriteCheckpoint();
+    }
+  }
+}
+
+// -------------------------------------------------------------- handlers
+
+Result<Message> Worker::Handle(SiteId from, const Message& m) {
+  (void)from;
+  switch (static_cast<MsgType>(m.type)) {
+    case MsgType::kExecUpdate: {
+      HARBOR_ASSIGN_OR_RETURN(ExecUpdateMsg msg, ExecUpdateMsg::Decode(m));
+      return HandleExecUpdate(msg);
+    }
+    case MsgType::kPrepare: {
+      HARBOR_ASSIGN_OR_RETURN(PrepareMsg msg, PrepareMsg::Decode(m));
+      return HandlePrepare(msg);
+    }
+    case MsgType::kPrepareToCommit: {
+      HARBOR_ASSIGN_OR_RETURN(CommitTsMsg msg, CommitTsMsg::Decode(m));
+      return HandlePrepareToCommit(msg);
+    }
+    case MsgType::kCommit: {
+      HARBOR_ASSIGN_OR_RETURN(CommitTsMsg msg, CommitTsMsg::Decode(m));
+      return HandleCommit(msg);
+    }
+    case MsgType::kAbort:
+    case MsgType::kFinishRead: {
+      HARBOR_ASSIGN_OR_RETURN(TxnMsg msg, TxnMsg::Decode(m));
+      return HandleAbort(msg);
+    }
+    case MsgType::kScan: {
+      HARBOR_ASSIGN_OR_RETURN(ScanMsg msg, ScanMsg::Decode(m));
+      return HandleScan(msg);
+    }
+    case MsgType::kTableLock:
+    case MsgType::kTableUnlock: {
+      HARBOR_ASSIGN_OR_RETURN(TableLockMsg msg, TableLockMsg::Decode(m));
+      return HandleTableLock(msg);
+    }
+    case MsgType::kTxnStateProbe: {
+      HARBOR_ASSIGN_OR_RETURN(TxnMsg msg, TxnMsg::Decode(m));
+      return HandleProbe(msg);
+    }
+    default:
+      return Status::NotImplemented("worker cannot handle message type " +
+                                    std::to_string(m.type));
+  }
+}
+
+Result<Message> Worker::HandleExecUpdate(const ExecUpdateMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  // Simulated per-transaction CPU work occupies this site's processor
+  // (§6.3.2).
+  rt->cpu.DoWork(m.request.cpu_work_cycles);
+
+  HARBOR_ASSIGN_OR_RETURN(const TableDef* table,
+                          catalog_->GetTable(m.request.table_id));
+  std::shared_ptr<TxnState> txn = rt->txns.Create(m.txn);
+  std::lock_guard<std::mutex> guard(txn->mu);
+  txn->coordinator = m.coordinator;
+  if (txn->phase != TxnPhase::kPending) {
+    return Status::Aborted("transaction is no longer pending");
+  }
+
+  for (TableObject* obj : rt->catalog.objects()) {
+    if (obj->table_id != m.request.table_id) continue;
+    switch (m.request.kind) {
+      case UpdateRequest::Kind::kInsert: {
+        if (!obj->partition.IsFull()) {
+          HARBOR_ASSIGN_OR_RETURN(
+              size_t key_idx,
+              table->logical_schema.ColumnIndex(obj->partition.column));
+          if (!obj->partition.Contains(IntOf(m.request.values[key_idx]))) {
+            continue;  // tuple belongs to a partition hosted elsewhere
+          }
+        }
+        HARBOR_RETURN_NOT_OK(ExecInsert(rt->store.get(), txn.get(), obj,
+                                        m.request.tuple_id,
+                                        table->logical_schema,
+                                        m.request.values)
+                                 .status());
+        break;
+      }
+      case UpdateRequest::Kind::kDelete:
+        HARBOR_RETURN_NOT_OK(ExecDelete(rt->store.get(), txn.get(), obj,
+                                        m.request.predicate,
+                                        authority_->Now())
+                                 .status());
+        break;
+      case UpdateRequest::Kind::kUpdate:
+        HARBOR_RETURN_NOT_OK(ExecUpdate(rt->store.get(), txn.get(), obj,
+                                        m.request.predicate, m.request.sets,
+                                        authority_->Now())
+                                 .status());
+        break;
+    }
+  }
+  return AckMessage();
+}
+
+Result<Message> Worker::HandlePrepare(const PrepareMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  auto txn_r = rt->txns.Get(m.txn);
+  if (!txn_r.ok()) {
+    // Unknown transaction (e.g. we crashed and recovered since executing
+    // it): vote NO (§4.3.2).
+    return VoteReply{false}.Encode();
+  }
+  std::shared_ptr<TxnState> txn = *txn_r;
+  std::lock_guard<std::mutex> guard(txn->mu);
+  txn->coordinator = m.coordinator;
+  txn->participants = m.participants;
+  if (txn->phase == TxnPhase::kPrepared) {
+    return VoteReply{txn->voted_yes}.Encode();  // duplicate PREPARE
+  }
+  if (fail_next_prepare_.exchange(false)) {
+    // Consistency constraint violation: vote NO, roll back, release locks
+    // (Figure 4-2's abort path at the worker).
+    txn->phase = TxnPhase::kAborted;
+    txn->voted_yes = false;
+    if (rt->log != nullptr) {
+      LogRecord rec;
+      rec.type = LogRecordType::kTxnAbort;
+      rec.txn = txn->id;
+      rec.prev_lsn = txn->last_lsn;
+      txn->last_lsn = rt->log->Append(std::move(rec));
+      HARBOR_RETURN_NOT_OK(rt->log->Flush(txn->last_lsn));
+    }
+    HARBOR_RETURN_NOT_OK(rt->store->RollbackTransaction(txn.get()));
+    rt->locks.ReleaseAll(txn->id);
+    rt->txns.Erase(txn->id);
+    return VoteReply{false}.Encode();
+  }
+  txn->phase = TxnPhase::kPrepared;
+  txn->voted_yes = true;
+  if (rt->log != nullptr) {
+    // Traditional 2PC / canonical 3PC: the PREPARE record is force-written
+    // before the YES vote leaves the site (§4.3.1).
+    LogRecord rec;
+    rec.type = LogRecordType::kTxnPrepare;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    txn->last_lsn = rt->log->Append(std::move(rec));
+    HARBOR_RETURN_NOT_OK(rt->log->Flush(txn->last_lsn));
+  }
+  return VoteReply{true}.Encode();
+}
+
+Result<Message> Worker::HandlePrepareToCommit(const CommitTsMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  auto txn_r = rt->txns.Get(m.txn);
+  if (!txn_r.ok()) return AckMessage();  // already resolved; idempotent
+  std::shared_ptr<TxnState> txn = *txn_r;
+  std::lock_guard<std::mutex> guard(txn->mu);
+  txn->phase = TxnPhase::kPreparedToCommit;
+  txn->pending_commit_ts = m.commit_ts;
+  if (rt->log != nullptr && IsThreePhase(options_.protocol)) {
+    // Canonical 3PC's middle forced write.
+    LogRecord rec;
+    rec.type = LogRecordType::kTxnPrepareToCommit;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    txn->last_lsn = rt->log->Append(std::move(rec));
+    HARBOR_RETURN_NOT_OK(rt->log->Flush(txn->last_lsn));
+  }
+  return AckMessage();
+}
+
+Status Worker::CommitLocally(TxnState* txn, Timestamp commit_ts) {
+  Runtime* rt = rt_.get();
+  HARBOR_RETURN_NOT_OK(rt->store->StampCommit(txn, commit_ts));
+  txn->phase = TxnPhase::kCommitted;
+  if (rt->log != nullptr) {
+    LogRecord rec;
+    rec.type = LogRecordType::kTxnCommit;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    rec.commit_ts = commit_ts;
+    txn->last_lsn = rt->log->Append(std::move(rec));
+    HARBOR_RETURN_NOT_OK(rt->log->Flush(txn->last_lsn));
+  }
+  rt->locks.ReleaseAll(txn->id);
+  rt->txns.Erase(txn->id);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Worker::AbortLocally(TxnState* txn) {
+  Runtime* rt = rt_.get();
+  txn->phase = TxnPhase::kAborted;
+  HARBOR_RETURN_NOT_OK(rt->store->RollbackTransaction(txn));
+  if (rt->log != nullptr) {
+    LogRecord rec;
+    rec.type = LogRecordType::kTxnAbort;
+    rec.txn = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    txn->last_lsn = rt->log->Append(std::move(rec));
+    HARBOR_RETURN_NOT_OK(rt->log->Flush(txn->last_lsn));
+  }
+  rt->locks.ReleaseAll(txn->id);
+  rt->txns.Erase(txn->id);
+  return Status::OK();
+}
+
+Result<Message> Worker::HandleCommit(const CommitTsMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  auto txn_r = rt->txns.Get(m.txn);
+  if (!txn_r.ok()) return AckMessage();  // duplicate COMMIT; idempotent
+  std::shared_ptr<TxnState> txn = *txn_r;
+  std::lock_guard<std::mutex> guard(txn->mu);
+  if (txn->phase == TxnPhase::kCommitted) return AckMessage();
+  HARBOR_RETURN_NOT_OK(CommitLocally(txn.get(), m.commit_ts));
+  return AckMessage();
+}
+
+Result<Message> Worker::HandleAbort(const TxnMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  auto txn_r = rt->txns.Get(m.txn);
+  if (!txn_r.ok()) {
+    // kFinishRead for a read-only transaction that never created state, or
+    // a duplicate abort: just release any page locks held under this owner.
+    rt->locks.ReleaseAll(m.txn);
+    return AckMessage();
+  }
+  std::shared_ptr<TxnState> txn = *txn_r;
+  std::lock_guard<std::mutex> guard(txn->mu);
+  HARBOR_RETURN_NOT_OK(AbortLocally(txn.get()));
+  return AckMessage();
+}
+
+Result<Message> Worker::HandleScan(const ScanMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  HARBOR_ASSIGN_OR_RETURN(TableObject * obj,
+                          rt->catalog.GetObject(m.spec.object_id));
+  SeqScanOperator scan(rt->store.get(), obj, m.spec, m.owner,
+                       m.with_page_locks ? ScanLocking::kPageLocks
+                                         : ScanLocking::kNone);
+  HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, CollectAll(&scan));
+  ScanReplyMsg reply;
+  reply.minimal = m.minimal_projection;
+  if (m.minimal_projection) {
+    reply.id_deletions.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      reply.id_deletions.push_back(
+          IdDeletion{t.tuple_id(), t.deletion_ts(), t.insertion_ts()});
+    }
+  } else {
+    reply.schema = obj->schema;
+    reply.tuples = std::move(tuples);
+  }
+  return reply.Encode();
+}
+
+Result<Message> Worker::HandleTableLock(const TableLockMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  const LockOwnerId owner = MakeRecoveryOwner(m.owner_site);
+  if (m.type == MsgType::kTableLock) {
+    HARBOR_RETURN_NOT_OK(
+        rt->locks.AcquireTableLock(owner, m.object_id, LockMode::kShared));
+  } else {
+    rt->locks.ReleaseTableLock(owner, m.object_id);
+  }
+  return AckMessage();
+}
+
+Result<Message> Worker::HandleProbe(const TxnMsg& m) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  ProbeReply reply;
+  auto txn_r = rt->txns.Get(m.txn);
+  if (txn_r.ok()) {
+    std::shared_ptr<TxnState> txn = *txn_r;
+    std::lock_guard<std::mutex> guard(txn->mu);
+    reply.known = true;
+    reply.phase = static_cast<uint8_t>(txn->phase);
+    reply.voted_yes = txn->voted_yes;
+    reply.pending_commit_ts = txn->pending_commit_ts;
+    reply.participants = txn->participants;
+  }
+  return reply.Encode();
+}
+
+// ----------------------------------------------- failure handling (§5.5)
+
+void Worker::OnSiteCrash(SiteId crashed) {
+  if (!running_.load() || crashed == options_.site_id) return;
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return;
+
+  // A recovering site that dies while holding table read locks must not
+  // block transactions forever: override its lock ownership (§5.5.1).
+  rt->locks.ReleaseAll(MakeRecoveryOwner(crashed));
+
+  // Coordinator failure handling (§4.3.2 / §4.3.3).
+  for (TxnId id : rt->txns.ActiveIds()) {
+    auto txn_r = rt->txns.Get(id);
+    if (!txn_r.ok()) continue;
+    std::shared_ptr<TxnState> txn = *txn_r;
+    bool run_consensus = false;
+    {
+      std::lock_guard<std::mutex> guard(txn->mu);
+      if (txn->coordinator != crashed) continue;
+      if (!IsThreePhase(options_.protocol)) {
+        // 2PC: a pending transaction can be aborted safely; a prepared one
+        // is blocked until the coordinator recovers (the blocking problem).
+        if (txn->phase == TxnPhase::kPending ||
+            (txn->phase == TxnPhase::kPrepared && !txn->voted_yes)) {
+          (void)AbortLocally(txn.get());
+        }
+        continue;
+      }
+      run_consensus = true;
+    }
+    if (run_consensus) {
+      std::lock_guard<std::mutex> lock(rt->bg_mu);
+      if (rt->stopping) return;
+      rt->consensus_threads.emplace_back(
+          [this, id, crashed] { RunConsensus(id, crashed); });
+    }
+  }
+}
+
+void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr || !running_.load()) return;
+  auto txn_r = rt->txns.Get(txn_id);
+  if (!txn_r.ok()) return;  // already resolved
+  std::shared_ptr<TxnState> txn = *txn_r;
+
+  std::vector<SiteId> participants;
+  TxnPhase self_phase;
+  Timestamp ts;
+  {
+    std::lock_guard<std::mutex> guard(txn->mu);
+    participants = txn->participants;
+    self_phase = txn->phase;
+    ts = txn->pending_commit_ts;
+  }
+  std::vector<SiteId> alive;
+  for (SiteId p : participants) {
+    if (p != dead_coordinator && network_->IsAlive(p)) alive.push_back(p);
+  }
+  std::sort(alive.begin(), alive.end());
+
+  // Stagger backups by rank so the lowest-id live participant usually acts
+  // alone; duplicates are harmless (the decision rule is deterministic
+  // under fail-stop, see below).
+  size_t rank = 0;
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] == options_.site_id) rank = i;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30) * rank);
+  if (!running_.load()) return;
+  if (!rt->txns.Get(txn_id).ok()) return;  // resolved while we waited
+
+  // Probe every live participant: if ANY site reached prepared-to-commit
+  // (or committed), the old coordinator may have reached its commit point,
+  // so the transaction must commit — replay the last two phases with the
+  // same commit time (Table 4.1). If NO live site got past prepared, the
+  // coordinator cannot have collected all prepared-to-commit ACKs, so abort
+  // is safe.
+  bool must_commit = self_phase == TxnPhase::kPreparedToCommit ||
+                     self_phase == TxnPhase::kCommitted;
+  for (SiteId p : alive) {
+    if (p == options_.site_id) continue;
+    TxnMsg probe;
+    probe.type = MsgType::kTxnStateProbe;
+    probe.txn = txn_id;
+    auto reply = network_->Call(options_.site_id, p, probe.Encode());
+    if (!reply.ok()) continue;  // newly failed site: fail-stop, skip
+    auto decoded = ProbeReply::Decode(*reply);
+    if (!decoded.ok() || !decoded->known) continue;
+    TxnPhase phase = static_cast<TxnPhase>(decoded->phase);
+    if (phase == TxnPhase::kPreparedToCommit ||
+        phase == TxnPhase::kCommitted) {
+      must_commit = true;
+      if (decoded->pending_commit_ts != 0) ts = decoded->pending_commit_ts;
+    }
+  }
+
+  if (must_commit) {
+    for (SiteId p : alive) {
+      if (p == options_.site_id) continue;
+      CommitTsMsg ptc;
+      ptc.type = MsgType::kPrepareToCommit;
+      ptc.txn = txn_id;
+      ptc.commit_ts = ts;
+      (void)network_->Call(options_.site_id, p, ptc.Encode());
+    }
+    for (SiteId p : alive) {
+      if (p == options_.site_id) continue;
+      CommitTsMsg commit;
+      commit.type = MsgType::kCommit;
+      commit.txn = txn_id;
+      commit.commit_ts = ts;
+      (void)network_->Call(options_.site_id, p, commit.Encode());
+    }
+    auto self = rt->txns.Get(txn_id);
+    if (self.ok()) {
+      std::lock_guard<std::mutex> guard((*self)->mu);
+      if ((*self)->phase != TxnPhase::kCommitted) {
+        (void)CommitLocally(self->get(), ts);
+      }
+    }
+    authority_->EndCommit(ts);  // release the dead coordinator's epoch hold
+  } else {
+    for (SiteId p : alive) {
+      if (p == options_.site_id) continue;
+      TxnMsg abort;
+      abort.type = MsgType::kAbort;
+      abort.txn = txn_id;
+      (void)network_->Call(options_.site_id, p, abort.Encode());
+    }
+    auto self = rt->txns.Get(txn_id);
+    if (self.ok()) {
+      std::lock_guard<std::mutex> guard((*self)->mu);
+      (void)AbortLocally(self->get());
+    }
+  }
+}
+
+}  // namespace harbor

@@ -1,0 +1,176 @@
+#ifndef HARBOR_CORE_WORKER_H_
+#define HARBOR_CORE_WORKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aries/aries.h"
+#include "buffer/buffer_pool.h"
+#include "common/result.h"
+#include "core/checkpoint_file.h"
+#include "core/global_catalog.h"
+#include "core/liveness.h"
+#include "core/messages.h"
+#include "core/protocol.h"
+#include "lock/lock_manager.h"
+#include "net/network.h"
+#include "sim/sim_cpu.h"
+#include "sim/sim_disk.h"
+#include "storage/local_catalog.h"
+#include "txn/timestamp_authority.h"
+#include "txn/transaction.h"
+#include "txn/version_store.h"
+#include "wal/log_manager.h"
+
+namespace harbor {
+
+struct WorkerOptions {
+  SiteId site_id = kInvalidSiteId;
+  std::string dir;
+  SimConfig sim = SimConfig::Zero();
+  CommitProtocol protocol = CommitProtocol::kOptimized3PC;
+  bool group_commit = true;
+  size_t buffer_pages = 8192;
+  int server_threads = 8;
+  std::chrono::milliseconds lock_timeout{500};
+  /// Period of the background checkpointer (Fig 3-2 in HARBOR mode, fuzzy
+  /// ARIES checkpoints in logging mode); 0 disables it.
+  int64_t checkpoint_period_ms = 0;
+  /// Coordinator to consult for ARIES in-doubt resolution at restart.
+  SiteId default_coordinator = 0;
+};
+
+/// \brief A worker site: the storage stack of Figure 6-1 plus the message
+/// handlers for transaction execution, commit processing, query shipping,
+/// and recovery support.
+///
+/// The Worker object itself is a restartable host; all volatile state lives
+/// in an internal runtime that Crash() destroys (keeping the site's files)
+/// and Start() rebuilds — fail-stop semantics (§3.2).
+class Worker {
+ public:
+  Worker(Network* network, GlobalCatalog* catalog,
+         TimestampAuthority* authority, LivenessDirectory* liveness,
+         WorkerOptions options);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Creates local objects for every catalog placement at this site (no-op
+  /// for objects that already exist).
+  Status ProvisionReplicas();
+
+  /// Builds the runtime over the site's files and brings the endpoint up.
+  /// In logging mode this first runs ARIES restart recovery. `target_state`
+  /// is kOnline for a normal start and kRecovering when HARBOR recovery will
+  /// follow (the endpoint must be up to receive forwarded updates, but new
+  /// transactions must not target the site yet, §5.4.2).
+  Status Start(SiteState target_state = SiteState::kOnline);
+
+  /// Fail-stop crash: drops every piece of volatile state. Files survive.
+  void Crash();
+
+  bool running() const { return running_.load(); }
+
+  // --- Checkpointing (Figure 3-2) ---
+  Status WriteCheckpoint();
+  Result<CheckpointRecord> LastCheckpoint() const;
+  Status WriteObjectCheckpoint(ObjectId object, Timestamp t);
+  /// Collapses per-object checkpoints into a single global time once
+  /// recovery of all objects completes (§5.3).
+  Status PromoteGlobalCheckpoint(Timestamp t);
+  /// Recovery disables the periodic checkpointer (§5.2).
+  void PauseCheckpoints(bool paused) { checkpoints_paused_ = paused; }
+
+  // --- Internals (used by RecoveryManager, Cluster, tests) ---
+  VersionStore* store() { return rt_->store.get(); }
+  LocalCatalog* local_catalog() { return &rt_->catalog; }
+  LockManager* locks() { return &rt_->locks; }
+  BufferPool* pool() { return &rt_->pool; }
+  LogManager* log() { return rt_->log.get(); }
+  TxnTable* txns() { return &rt_->txns; }
+  SimDisk* data_disk() { return &rt_->data_disk; }
+  SimDisk* log_disk() { return &rt_->log_disk; }
+  SimCpu* cpu() { return &rt_->cpu; }
+  TimestampAuthority* authority() { return authority_; }
+  Network* network() { return network_; }
+  GlobalCatalog* global_catalog() { return catalog_; }
+  LivenessDirectory* liveness() { return liveness_; }
+  const WorkerOptions& options() const { return options_; }
+  SiteId site_id() const { return options_.site_id; }
+
+  /// Test hook: the next PREPARE vote is NO (simulates a consistency
+  /// constraint violation, §4.3).
+  void FailNextPrepare() { fail_next_prepare_ = true; }
+
+  /// Number of transactions this worker committed (throughput accounting).
+  int64_t commits() const { return commits_.load(); }
+
+ private:
+  struct Runtime {
+    explicit Runtime(const WorkerOptions& options);
+
+    SimDisk data_disk;
+    SimDisk log_disk;
+    SimCpu cpu;
+    FileManager fm;
+    LocalCatalog catalog;
+    BufferPool pool;
+    LockManager locks;
+    TxnTable txns;
+    std::unique_ptr<LogManager> log;  // null when the protocol is logless
+    std::unique_ptr<VersionStore> store;
+
+    std::mutex bg_mu;
+    std::condition_variable bg_cv;
+    bool stopping = false;
+    std::thread checkpoint_thread;
+    std::vector<std::thread> consensus_threads;
+  };
+
+  Result<Message> Handle(SiteId from, const Message& m);
+  Result<Message> HandleExecUpdate(const ExecUpdateMsg& m);
+  Result<Message> HandlePrepare(const PrepareMsg& m);
+  Result<Message> HandlePrepareToCommit(const CommitTsMsg& m);
+  Result<Message> HandleCommit(const CommitTsMsg& m);
+  Result<Message> HandleAbort(const TxnMsg& m);
+  Result<Message> HandleScan(const ScanMsg& m);
+  Result<Message> HandleTableLock(const TableLockMsg& m);
+  Result<Message> HandleProbe(const TxnMsg& m);
+
+  Status AbortLocally(TxnState* txn);
+  Status CommitLocally(TxnState* txn, Timestamp commit_ts);
+
+  void OnSiteCrash(SiteId crashed);
+  /// Consensus building protocol (backup coordinator, §4.3.3 / Table 4.1).
+  void RunConsensus(TxnId txn_id, SiteId dead_coordinator);
+
+  void CheckpointLoop();
+
+  Network* const network_;
+  GlobalCatalog* const catalog_;
+  TimestampAuthority* const authority_;
+  LivenessDirectory* const liveness_;
+  const WorkerOptions options_;
+
+  std::unique_ptr<Runtime> rt_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> checkpoints_paused_{false};
+  std::atomic<bool> fail_next_prepare_{false};
+  std::atomic<int64_t> commits_{0};
+  mutable std::mutex lifecycle_mu_;
+  /// Serializes read-modify-write cycles on the checkpoint record file
+  /// (parallel object recovery checkpoints concurrently, §5.3).
+  mutable std::mutex checkpoint_file_mu_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_CORE_WORKER_H_

@@ -1,0 +1,53 @@
+#ifndef HARBOR_EXEC_DML_H_
+#define HARBOR_EXEC_DML_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/predicate.h"
+#include "storage/local_catalog.h"
+#include "txn/transaction.h"
+#include "txn/version_store.h"
+
+namespace harbor {
+
+/// One `SET column = value` assignment of an UPDATE statement.
+struct SetClause {
+  std::string column;
+  Value value;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<SetClause> Deserialize(ByteBufferReader* in);
+};
+
+/// \brief Transactional INSERT of one tuple into a table object.
+///
+/// `input_schema` describes the order of `values` (the logical schema used
+/// by the coordinator); they are remapped by column name onto the object's
+/// possibly different physical order. The coordinator-assigned tuple id
+/// correlates the tuple across replicas (§5.3).
+Result<RecordId> ExecInsert(VersionStore* store, TxnState* txn,
+                            TableObject* obj, TupleId tuple_id,
+                            const Schema& input_schema,
+                            const std::vector<Value>& values);
+
+/// \brief Transactional DELETE of all tuples visible at `read_time` that
+/// match `predicate`; returns the number of tuples deleted. Deletion is the
+/// timestamped logical delete of §3.3 (pages stamped at commit).
+Result<int64_t> ExecDelete(VersionStore* store, TxnState* txn,
+                           TableObject* obj, const Predicate& predicate,
+                           Timestamp read_time);
+
+/// \brief Transactional UPDATE: for each matching visible tuple, the old
+/// version is deleted and a new version with the set clauses applied is
+/// inserted under the same tuple id (§3.3: "an update is represented as a
+/// deletion of the old tuple and an insertion of the new tuple").
+Result<int64_t> ExecUpdate(VersionStore* store, TxnState* txn,
+                           TableObject* obj, const Predicate& predicate,
+                           const std::vector<SetClause>& sets,
+                           Timestamp read_time);
+
+}  // namespace harbor
+
+#endif  // HARBOR_EXEC_DML_H_

@@ -1,0 +1,46 @@
+#ifndef HARBOR_EXEC_OPERATOR_H_
+#define HARBOR_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace harbor {
+
+/// \brief The standard iterator interface exported by all database operators
+/// (§6.1.5): open, next, rewind, and the output schema.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple, or nullopt when the stream is exhausted.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+
+  /// Resets the stream to the beginning (used by nested-loops join's inner).
+  virtual Status Rewind() = 0;
+
+  /// Schema of the tuples this operator produces.
+  virtual const Schema& schema() const = 0;
+};
+
+/// Drains an (already constructed, unopened) operator into a vector.
+inline Result<std::vector<Tuple>> CollectAll(Operator* op) {
+  HARBOR_RETURN_NOT_OK(op->Open());
+  std::vector<Tuple> out;
+  while (true) {
+    HARBOR_ASSIGN_OR_RETURN(std::optional<Tuple> t, op->Next());
+    if (!t.has_value()) break;
+    out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+}  // namespace harbor
+
+#endif  // HARBOR_EXEC_OPERATOR_H_

@@ -1,0 +1,126 @@
+#include "exec/predicate.h"
+
+namespace harbor {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq: return !(lhs < rhs) && !(rhs < lhs);
+    case CompareOp::kNe: return lhs < rhs || rhs < lhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return !(rhs < lhs);
+    case CompareOp::kGt: return rhs < lhs;
+    case CompareOp::kGe: return !(lhs < rhs);
+  }
+  return false;
+}
+
+void ColumnPredicate::Serialize(ByteBufferWriter* out) const {
+  out->WriteString(column);
+  out->WriteU8(static_cast<uint8_t>(op));
+  out->WriteU8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case ColumnType::kInt32: out->WriteI32(value.AsInt32()); break;
+    case ColumnType::kInt64: out->WriteI64(value.AsInt64()); break;
+    case ColumnType::kDouble: out->WriteDouble(value.AsDouble()); break;
+    case ColumnType::kChar: out->WriteString(value.AsString()); break;
+  }
+}
+
+Result<ColumnPredicate> ColumnPredicate::Deserialize(ByteBufferReader* in) {
+  ColumnPredicate p;
+  HARBOR_ASSIGN_OR_RETURN(p.column, in->ReadString());
+  HARBOR_ASSIGN_OR_RETURN(uint8_t op, in->ReadU8());
+  p.op = static_cast<CompareOp>(op);
+  HARBOR_ASSIGN_OR_RETURN(uint8_t type, in->ReadU8());
+  switch (static_cast<ColumnType>(type)) {
+    case ColumnType::kInt32: {
+      HARBOR_ASSIGN_OR_RETURN(int32_t v, in->ReadI32());
+      p.value = Value(v);
+      break;
+    }
+    case ColumnType::kInt64: {
+      HARBOR_ASSIGN_OR_RETURN(int64_t v, in->ReadI64());
+      p.value = Value(v);
+      break;
+    }
+    case ColumnType::kDouble: {
+      HARBOR_ASSIGN_OR_RETURN(double v, in->ReadDouble());
+      p.value = Value(v);
+      break;
+    }
+    case ColumnType::kChar: {
+      HARBOR_ASSIGN_OR_RETURN(std::string v, in->ReadString());
+      p.value = Value(std::move(v));
+      break;
+    }
+    default:
+      return Status::Corruption("bad value type in predicate");
+  }
+  return p;
+}
+
+std::string ColumnPredicate::ToString() const {
+  return column + " " + CompareOpToString(op) + " " + value.ToString();
+}
+
+Result<std::vector<size_t>> Predicate::Bind(const Schema& schema) const {
+  std::vector<size_t> bound;
+  bound.reserve(conjuncts_.size());
+  for (const ColumnPredicate& p : conjuncts_) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(p.column));
+    bound.push_back(idx);
+  }
+  return bound;
+}
+
+bool Predicate::EvalBound(const std::vector<size_t>& bound,
+                          const Tuple& tuple) const {
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (!CompareValues(tuple.value(bound[i]), conjuncts_[i].op,
+                       conjuncts_[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Predicate::Serialize(ByteBufferWriter* out) const {
+  out->WriteU32(static_cast<uint32_t>(conjuncts_.size()));
+  for (const ColumnPredicate& p : conjuncts_) p.Serialize(out);
+}
+
+Result<Predicate> Predicate::Deserialize(ByteBufferReader* in) {
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in->ReadU32());
+  std::vector<ColumnPredicate> conjuncts;
+  conjuncts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HARBOR_ASSIGN_OR_RETURN(ColumnPredicate p,
+                            ColumnPredicate::Deserialize(in));
+    conjuncts.push_back(std::move(p));
+  }
+  return Predicate(std::move(conjuncts));
+}
+
+std::string Predicate::ToString() const {
+  if (conjuncts_.empty()) return "TRUE";
+  std::string s;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) s += " AND ";
+    s += conjuncts_[i].ToString();
+  }
+  return s;
+}
+
+}  // namespace harbor

@@ -1,0 +1,71 @@
+#ifndef HARBOR_EXEC_PREDICATE_H_
+#define HARBOR_EXEC_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace harbor {
+
+/// Comparison operators for simple column predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief One `column <op> constant` comparison. Columns are referenced by
+/// name so the same predicate applies to replicas with different column
+/// orders.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<ColumnPredicate> Deserialize(ByteBufferReader* in);
+  std::string ToString() const;
+};
+
+/// \brief A conjunction of column predicates (the SARGable WHERE clause of
+/// recovery queries and simple reads; an empty conjunction is TRUE).
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<ColumnPredicate> conjuncts)
+      : conjuncts_(std::move(conjuncts)) {}
+
+  static Predicate True() { return Predicate(); }
+
+  Predicate& And(std::string column, CompareOp op, Value value) {
+    conjuncts_.push_back(ColumnPredicate{std::move(column), op,
+                                         std::move(value)});
+    return *this;
+  }
+
+  bool empty() const { return conjuncts_.empty(); }
+  const std::vector<ColumnPredicate>& conjuncts() const { return conjuncts_; }
+
+  /// Resolves column names against `schema`; call once per scan, then
+  /// evaluate with EvalBound. Fails if a column is missing.
+  Result<std::vector<size_t>> Bind(const Schema& schema) const;
+
+  /// Evaluates the conjunction on `tuple` with pre-bound column indices.
+  bool EvalBound(const std::vector<size_t>& bound, const Tuple& tuple) const;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<Predicate> Deserialize(ByteBufferReader* in);
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnPredicate> conjuncts_;
+};
+
+/// Evaluates one comparison between values of compatible types.
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
+
+}  // namespace harbor
+
+#endif  // HARBOR_EXEC_PREDICATE_H_

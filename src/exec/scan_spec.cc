@@ -1,0 +1,62 @@
+#include "exec/scan_spec.h"
+
+namespace harbor {
+
+void ScanSpec::Serialize(ByteBufferWriter* out) const {
+  out->WriteU32(object_id);
+  out->WriteU8(static_cast<uint8_t>(mode));
+  out->WriteU64(as_of);
+  out->WriteBool(has_insertion_at_or_before);
+  out->WriteU64(insertion_at_or_before);
+  out->WriteBool(has_insertion_after);
+  out->WriteU64(insertion_after);
+  out->WriteBool(has_deletion_after);
+  out->WriteU64(deletion_after);
+  out->WriteBool(exclude_uncommitted);
+  range.Serialize(out);
+  predicate.Serialize(out);
+}
+
+Result<ScanSpec> ScanSpec::Deserialize(ByteBufferReader* in) {
+  ScanSpec s;
+  HARBOR_ASSIGN_OR_RETURN(s.object_id, in->ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(uint8_t mode, in->ReadU8());
+  s.mode = static_cast<ScanMode>(mode);
+  HARBOR_ASSIGN_OR_RETURN(s.as_of, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(s.has_insertion_at_or_before, in->ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(s.insertion_at_or_before, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(s.has_insertion_after, in->ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(s.insertion_after, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(s.has_deletion_after, in->ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(s.deletion_after, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(s.exclude_uncommitted, in->ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(s.range, PartitionRange::Deserialize(in));
+  HARBOR_ASSIGN_OR_RETURN(s.predicate, Predicate::Deserialize(in));
+  return s;
+}
+
+std::string ScanSpec::ToString() const {
+  std::string s = "SCAN obj=" + std::to_string(object_id);
+  switch (mode) {
+    case ScanMode::kVisible:
+      s += " VISIBLE@" + std::to_string(as_of);
+      break;
+    case ScanMode::kSeeDeleted:
+      s += " SEE_DELETED";
+      break;
+    case ScanMode::kSeeDeletedHistorical:
+      s += " SEE_DELETED HISTORICAL@" + std::to_string(as_of);
+      break;
+  }
+  if (has_insertion_at_or_before) {
+    s += " ins<=" + std::to_string(insertion_at_or_before);
+  }
+  if (has_insertion_after) s += " ins>" + std::to_string(insertion_after);
+  if (has_deletion_after) s += " del>" + std::to_string(deletion_after);
+  if (exclude_uncommitted) s += " ins!=UNCOMMITTED";
+  if (!range.IsFull()) s += " range " + range.ToString();
+  if (!predicate.empty()) s += " where " + predicate.ToString();
+  return s;
+}
+
+}  // namespace harbor

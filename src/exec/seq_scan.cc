@@ -1,0 +1,228 @@
+#include "exec/seq_scan.h"
+
+#include "storage/heap_page.h"
+
+namespace harbor {
+
+namespace {
+
+/// Integer view of a partition-key column.
+int64_t IntValueOf(const Tuple& t, size_t idx) {
+  const Value& v = t.value(idx);
+  switch (v.type()) {
+    case ColumnType::kInt32: return v.AsInt32();
+    case ColumnType::kInt64: return v.AsInt64();
+    default: return static_cast<int64_t>(v.AsNumeric());
+  }
+}
+
+}  // namespace
+
+SeqScanOperator::SeqScanOperator(VersionStore* store, TableObject* obj,
+                                 ScanSpec spec, LockOwnerId owner,
+                                 ScanLocking locking)
+    : store_(store),
+      obj_(obj),
+      spec_(std::move(spec)),
+      owner_(owner),
+      locking_(locking) {}
+
+Status SeqScanOperator::Open() {
+  HARBOR_ASSIGN_OR_RETURN(bound_predicate_,
+                          spec_.predicate.Bind(obj_->schema));
+  if (!spec_.range.IsFull()) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx,
+                            obj_->schema.ColumnIndex(spec_.range.column));
+    range_column_ = static_cast<int>(idx);
+  }
+  if (locking_ == ScanLocking::kPageLocks) {
+    HARBOR_RETURN_NOT_OK(store_->lock_manager()->AcquireTableLock(
+        owner_, obj_->object_id, LockMode::kIntentionShared));
+  }
+
+  // Index path: an equality probe on the secondary-indexed column resolves
+  // to candidate record ids instead of a full scan.
+  use_index_ = false;
+  if (obj_->secondary != nullptr) {
+    for (const ColumnPredicate& c : spec_.predicate.conjuncts()) {
+      if (c.op == CompareOp::kEq && c.column == obj_->secondary->column()) {
+        HARBOR_RETURN_NOT_OK(store_->EnsureIndex(obj_));
+        const int64_t key = c.value.type() == ColumnType::kInt32
+                                ? c.value.AsInt32()
+                                : c.value.AsInt64();
+        candidates_ = obj_->secondary->Lookup(key);
+        use_index_ = true;
+        break;
+      }
+    }
+  }
+  open_ = true;
+  return Rewind();
+}
+
+Status SeqScanOperator::Rewind() {
+  HARBOR_CHECK(open_);
+  current_segment_ = 0;
+  segment_pages_.clear();
+  current_page_ = 0;
+  current_candidate_ = 0;
+  batch_.clear();
+  exhausted_ = false;
+  return Status::OK();
+}
+
+bool SeqScanOperator::SegmentNeeded(size_t seg) const {
+  const SegmentedHeapFile& file = *obj_->file;
+  if (file.segment(seg).dropped) return false;
+  // Conjunction pruning: the segment is needed only if every timestamp
+  // conjunct could be satisfied by some tuple in it.
+  if (spec_.has_insertion_at_or_before &&
+      !file.MayContainInsertionAtOrBefore(seg,
+                                          spec_.insertion_at_or_before)) {
+    return false;
+  }
+  if (spec_.has_insertion_after) {
+    const bool committed_match =
+        file.MayContainInsertionAfter(seg, spec_.insertion_after);
+    // The uncommitted sentinel satisfies `insertion > T` numerically, so a
+    // segment with possible uncommitted tuples still matches unless the
+    // query excludes them (§5.2 vs §5.4.1).
+    const bool uncommitted_match =
+        !spec_.exclude_uncommitted && file.MayContainUncommitted(seg);
+    if (!committed_match && !uncommitted_match) return false;
+  }
+  if (spec_.has_deletion_after &&
+      !file.MayContainDeletionAfter(seg, spec_.deletion_after)) {
+    return false;
+  }
+  // Snapshot scans cannot see tuples inserted after as_of.
+  if (spec_.mode != ScanMode::kSeeDeleted &&
+      !file.MayContainInsertionAtOrBefore(seg, spec_.as_of)) {
+    return false;
+  }
+  return true;
+}
+
+Status SeqScanOperator::LoadNextBatch() {
+  const uint32_t tuple_bytes = obj_->schema.tuple_bytes();
+  while (true) {
+    if (current_page_ >= segment_pages_.size()) {
+      // Advance to the next needed segment.
+      while (current_segment_ < obj_->file->num_segments() &&
+             !SegmentNeeded(current_segment_)) {
+        ++current_segment_;
+        ++segments_pruned_;
+      }
+      if (current_segment_ >= obj_->file->num_segments()) {
+        exhausted_ = true;
+        return Status::OK();
+      }
+      segment_pages_ = obj_->file->PagesOfSegment(current_segment_);
+      current_page_ = 0;
+      ++segments_visited_;
+      ++current_segment_;
+      continue;
+    }
+
+    const PageId pid = segment_pages_[current_page_++];
+    if (locking_ == ScanLocking::kPageLocks) {
+      HARBOR_RETURN_NOT_OK(store_->lock_manager()->AcquirePageLock(
+          owner_, pid, LockMode::kShared));
+    }
+    HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                            store_->buffer_pool()->GetPage(pid,
+                                                           /*sequential=*/true));
+    ++pages_visited_;
+    PageLatchGuard latch(handle);
+    HeapPage view(handle.data(), tuple_bytes);
+    if (view.capacity() == 0) continue;  // never-initialized page
+    for (uint16_t slot = 0; slot < view.capacity(); ++slot) {
+      if (!view.IsOccupied(slot)) continue;
+      EvaluateSlot(view.TupleData(slot), pid, slot);
+    }
+    if (!batch_.empty()) return Status::OK();
+  }
+}
+
+void SeqScanOperator::EvaluateSlot(const uint8_t* data, PageId pid,
+                                   uint16_t slot) {
+  PackedSystemHeader h = PackedSystemHeader::Read(data);
+
+  Timestamp eff_ins = h.insertion_ts;
+  Timestamp eff_del = h.deletion_ts;
+  switch (spec_.mode) {
+    case ScanMode::kVisible:
+      if (eff_ins == kUncommittedTimestamp || eff_ins > spec_.as_of) return;
+      if (eff_del != kNotDeleted && eff_del <= spec_.as_of) return;
+      break;
+    case ScanMode::kSeeDeleted:
+      break;
+    case ScanMode::kSeeDeletedHistorical:
+      // Insertions after the snapshot are invisible; deletions after it
+      // appear undone (§5.3).
+      if (eff_ins > spec_.as_of) return;  // includes uncommitted
+      if (eff_del > spec_.as_of) eff_del = kNotDeleted;
+      break;
+  }
+
+  if (spec_.has_insertion_at_or_before &&
+      eff_ins > spec_.insertion_at_or_before) {
+    return;
+  }
+  if (spec_.has_insertion_after && eff_ins <= spec_.insertion_after) return;
+  if (spec_.has_deletion_after && eff_del <= spec_.deletion_after) return;
+  if (spec_.exclude_uncommitted && eff_ins == kUncommittedTimestamp) return;
+
+  Tuple t = Tuple::Unpack(obj_->schema, data);
+  t.set_deletion_ts(eff_del);  // present the snapshot view
+  t.set_record_id(RecordId{pid, slot});
+
+  if (range_column_ >= 0 &&
+      !spec_.range.Contains(
+          IntValueOf(t, static_cast<size_t>(range_column_)))) {
+    return;
+  }
+  if (!spec_.predicate.EvalBound(bound_predicate_, t)) return;
+  batch_.push_back(std::move(t));
+}
+
+Status SeqScanOperator::LoadCandidateBatch() {
+  const uint32_t tuple_bytes = obj_->schema.tuple_bytes();
+  while (current_candidate_ < candidates_.size()) {
+    const RecordId rid = candidates_[current_candidate_++];
+    // Segment pruning applies to index probes as well.
+    auto seg = obj_->file->SegmentOfPage(rid.page.page_no);
+    if (!seg.ok() || !SegmentNeeded(*seg)) continue;
+    if (locking_ == ScanLocking::kPageLocks) {
+      HARBOR_RETURN_NOT_OK(store_->lock_manager()->AcquirePageLock(
+          owner_, rid.page, LockMode::kShared));
+    }
+    HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                            store_->buffer_pool()->GetPage(rid.page));
+    ++pages_visited_;
+    PageLatchGuard latch(handle);
+    HeapPage view(handle.data(), tuple_bytes);
+    if (rid.slot >= view.capacity() || !view.IsOccupied(rid.slot)) continue;
+    EvaluateSlot(view.TupleData(rid.slot), rid.page, rid.slot);
+    if (!batch_.empty()) return Status::OK();
+  }
+  exhausted_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> SeqScanOperator::Next() {
+  HARBOR_CHECK(open_);
+  while (batch_.empty() && !exhausted_) {
+    if (use_index_) {
+      HARBOR_RETURN_NOT_OK(LoadCandidateBatch());
+      continue;
+    }
+    HARBOR_RETURN_NOT_OK(LoadNextBatch());
+  }
+  if (batch_.empty()) return std::optional<Tuple>{};
+  Tuple t = std::move(batch_.front());
+  batch_.pop_front();
+  return std::optional<Tuple>(std::move(t));
+}
+
+}  // namespace harbor

@@ -1,0 +1,139 @@
+#include "net/network.h"
+
+namespace harbor {
+
+Network::~Network() {
+  std::vector<SiteId> sites;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [site, ep] : endpoints_) sites.push_back(site);
+    crash_subscribers_.clear();  // no callbacks during teardown
+  }
+  for (SiteId site : sites) CrashSite(site);
+}
+
+std::shared_ptr<Network::Endpoint> Network::Find(SiteId site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(site);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Status Network::RegisterSite(SiteId site, Handler handler, int num_threads) {
+  auto ep = std::make_shared<Endpoint>();
+  ep->handler = std::move(handler);
+  ep->alive = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(site);
+    if (it != endpoints_.end() && it->second->alive) {
+      return Status::AlreadyExists("site " + std::to_string(site) +
+                                   " already registered and alive");
+    }
+    endpoints_[site] = ep;
+  }
+  for (int i = 0; i < num_threads; ++i) {
+    ep->threads.emplace_back([this, site, ep] { ServerLoop(site, ep); });
+  }
+  return Status::OK();
+}
+
+void Network::ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep) {
+  (void)site;
+  while (true) {
+    PendingCall call;
+    {
+      std::unique_lock<std::mutex> lock(ep->mu);
+      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
+      if (ep->stopping) {
+        // Fail whatever is still queued.
+        while (!ep->inbox.empty()) {
+          ep->inbox.front().promise->set_value(
+              Status::Unavailable("site crashed"));
+          ep->inbox.pop_front();
+        }
+        return;
+      }
+      call = std::move(ep->inbox.front());
+      ep->inbox.pop_front();
+      ep->in_flight++;
+    }
+    // Request delivery cost (sender = caller) is paid on the server thread
+    // so the (async) caller is not blocked by it.
+    sim_.ChargeMessage(call.from, call.request.WireBytes());
+    Result<Message> reply = ep->handler(call.from, call.request);
+    // Reply flight back to the caller, charged against this site's NIC.
+    if (reply.ok()) {
+      sim_.ChargeMessage(site, reply->WireBytes());
+    }
+    call.promise->set_value(std::move(reply));
+    {
+      std::lock_guard<std::mutex> lock(ep->mu);
+      ep->in_flight--;
+    }
+    ep->cv.notify_all();
+  }
+}
+
+void Network::CrashSite(SiteId site) {
+  std::shared_ptr<Endpoint> ep = Find(site);
+  if (ep == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(ep->mu);
+    if (!ep->alive && ep->threads.empty()) return;
+    ep->alive = false;
+    ep->stopping = true;
+  }
+  ep->cv.notify_all();
+  for (std::thread& t : ep->threads) {
+    if (t.joinable()) t.join();
+  }
+  ep->threads.clear();
+
+  std::vector<std::function<void(SiteId)>> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subs = crash_subscribers_;
+  }
+  for (const auto& cb : subs) cb(site);
+}
+
+bool Network::IsAlive(SiteId site) {
+  std::shared_ptr<Endpoint> ep = Find(site);
+  if (ep == nullptr) return false;
+  std::lock_guard<std::mutex> lock(ep->mu);
+  return ep->alive;
+}
+
+std::future<Result<Message>> Network::CallAsync(SiteId from, SiteId to,
+                                                Message request) {
+  auto promise = std::make_shared<std::promise<Result<Message>>>();
+  std::future<Result<Message>> future = promise->get_future();
+  std::shared_ptr<Endpoint> ep = Find(to);
+  if (ep == nullptr) {
+    promise->set_value(
+        Status::Unavailable("no site " + std::to_string(to)));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    if (!ep->alive) {
+      promise->set_value(Status::Unavailable(
+          "site " + std::to_string(to) + " is down (connection refused)"));
+      return future;
+    }
+    ep->inbox.push_back(PendingCall{from, std::move(request), promise});
+  }
+  ep->cv.notify_all();
+  return future;
+}
+
+Result<Message> Network::Call(SiteId from, SiteId to, Message request) {
+  return CallAsync(from, to, std::move(request)).get();
+}
+
+void Network::SubscribeCrash(std::function<void(SiteId)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_subscribers_.push_back(std::move(callback));
+}
+
+}  // namespace harbor

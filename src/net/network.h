@@ -1,0 +1,116 @@
+#ifndef HARBOR_NET_NETWORK_H_
+#define HARBOR_NET_NETWORK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "sim/sim_config.h"
+#include "sim/sim_network.h"
+
+namespace harbor {
+
+/// \brief A network message: a type tag (defined by the protocol layer in
+/// src/core) and an opaque serialized payload.
+struct Message {
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+
+  /// Approximate on-wire size for the bandwidth model.
+  int64_t WireBytes() const {
+    return static_cast<int64_t>(payload.size()) + 32;  // + header/framing
+  }
+};
+
+/// \brief The in-process cluster transport: the simulated stand-in for the
+/// paper's TCP mesh (§6.1.6).
+///
+/// Each registered site runs a multi-threaded server draining its inbox —
+/// mirroring the thesis's "each worker runs a multi-threaded server that
+/// listens for incoming transaction requests". Calls are synchronous RPCs
+/// (CallAsync returns a future for parallel fan-out, e.g. PREPARE to all
+/// workers). Delivery charges the SimNetwork latency/bandwidth model.
+///
+/// Failure semantics follow the paper's fail-stop model: CrashSite
+/// atomically marks the endpoint dead, fails queued and future calls with
+/// kUnavailable (the "abruptly closed TCP socket" failure signal of §5.5.1),
+/// waits for in-flight handlers to drain, and fires crash subscriptions so
+/// e.g. a recovery buddy can release a dead recovering site's locks.
+class Network {
+ public:
+  explicit Network(const SimConfig& config)
+      : config_(config), sim_(config) {}
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using Handler = std::function<Result<Message>(SiteId from, const Message&)>;
+
+  /// Registers (or re-registers after a restart) a site endpoint served by
+  /// `num_threads` handler threads.
+  Status RegisterSite(SiteId site, Handler handler, int num_threads);
+
+  /// Fail-stop crash: new and queued calls fail immediately; in-flight
+  /// handlers are drained (their blocking waits must be unblocked by the
+  /// caller first, e.g. LockManager::Shutdown); crash subscribers fire.
+  /// Must not be called from one of the site's own handler threads.
+  void CrashSite(SiteId site);
+
+  bool IsAlive(SiteId site);
+
+  /// Synchronous RPC. Returns kUnavailable if the target is down.
+  Result<Message> Call(SiteId from, SiteId to, Message request);
+
+  /// Asynchronous RPC for parallel fan-out.
+  std::future<Result<Message>> CallAsync(SiteId from, SiteId to,
+                                         Message request);
+
+  /// Registers a callback fired (on the crashing thread) whenever any site
+  /// crashes.
+  void SubscribeCrash(std::function<void(SiteId)> callback);
+
+  SimNetwork& sim() { return sim_; }
+
+  /// Messages delivered so far (Table 4.2 accounting).
+  int64_t num_messages() const { return sim_.num_messages(); }
+
+ private:
+  struct PendingCall {
+    SiteId from;
+    Message request;
+    std::shared_ptr<std::promise<Result<Message>>> promise;
+  };
+  struct Endpoint {
+    Handler handler;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<PendingCall> inbox;
+    std::vector<std::thread> threads;
+    bool alive = false;
+    bool stopping = false;
+    int in_flight = 0;
+  };
+
+  void ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep);
+  std::shared_ptr<Endpoint> Find(SiteId site);
+
+  const SimConfig config_;
+  SimNetwork sim_;
+  std::mutex mu_;
+  std::unordered_map<SiteId, std::shared_ptr<Endpoint>> endpoints_;
+  std::vector<std::function<void(SiteId)>> crash_subscribers_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_NET_NETWORK_H_

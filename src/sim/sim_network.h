@@ -1,0 +1,72 @@
+#ifndef HARBOR_SIM_SIM_NETWORK_H_
+#define HARBOR_SIM_SIM_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "sim/sim_config.h"
+#include "sim/sim_device.h"
+
+namespace harbor {
+
+/// \brief Cost model for the cluster LAN.
+///
+/// Each message pays a fixed one-way propagation latency (not serialized —
+/// many messages can be in flight) plus a bandwidth charge serialized on the
+/// *sending* site's NIC/stack. The bandwidth term is what makes large
+/// recovery transfers (Phase 2 streaming thousands of tuples, §6.4) take
+/// time, and the per-sender serialization is what lets *parallel* recovery
+/// from two different buddies overlap transfers — "the recovery buddies can
+/// overlap the network costs of sending tuples, and the recovering site
+/// essentially receives two tuples in the time to send one" (§6.4.1).
+class SimNetwork {
+ public:
+  explicit SimNetwork(const SimConfig& config) : config_(config) {}
+
+  /// Charges the delivery of `bytes` from site `from`, blocking the calling
+  /// thread for the modelled duration.
+  void ChargeMessage(SiteId from, int64_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (!config_.enable_latency) return;
+    Nic(from).Charge(bytes * 1'000'000'000 /
+                     config_.net_bandwidth_bytes_per_sec);
+    // Propagation latency is unserialized: sleep outside the NIC queue.
+    SimSleepNanos(config_.net_latency_ns);
+  }
+
+  int64_t num_messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  int64_t num_bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  void ResetStats() {
+    messages_ = 0;
+    bytes_ = 0;
+  }
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  SimDevice& Nic(SiteId site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& nic = nics_[site];
+    if (!nic) {
+      nic = std::make_unique<SimDevice>("nic-" + std::to_string(site),
+                                        config_.enable_latency);
+    }
+    return *nic;
+  }
+
+  const SimConfig config_;
+  std::mutex mu_;
+  std::unordered_map<SiteId, std::unique_ptr<SimDevice>> nics_;
+  std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> bytes_{0};
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_SIM_SIM_NETWORK_H_

@@ -1,0 +1,119 @@
+#include "storage/file_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace harbor {
+
+FileManager::FileManager(std::string dir, SimDisk* data_disk)
+    : dir_(std::move(dir)), disk_(data_disk) {
+  ::mkdir(dir_.c_str(), 0755);
+}
+
+FileManager::~FileManager() {
+  for (auto& [id, fd] : fds_) ::close(fd);
+}
+
+std::string FileManager::PathFor(uint32_t file_id) const {
+  return dir_ + "/f" + std::to_string(file_id) + ".hf";
+}
+
+Status FileManager::OpenOrCreate(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fds_.count(file_id)) return Status::OK();
+  int fd = ::open(PathFor(file_id).c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + PathFor(file_id) + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat: " + std::string(std::strerror(errno)));
+  }
+  fds_[file_id] = fd;
+  sizes_[file_id] = static_cast<uint32_t>(st.st_size / kPageSize);
+  return Status::OK();
+}
+
+Status FileManager::Delete(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(file_id);
+  if (it != fds_.end()) {
+    ::close(it->second);
+    fds_.erase(it);
+    sizes_.erase(file_id);
+  }
+  if (::unlink(PathFor(file_id).c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError("unlink: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<int> FileManager::Fd(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(file_id);
+  if (it == fds_.end()) {
+    return Status::NotFound("file " + std::to_string(file_id) + " not open");
+  }
+  return it->second;
+}
+
+Status FileManager::ReadPage(PageId page, uint8_t* out, bool sequential) {
+  HARBOR_ASSIGN_OR_RETURN(int fd, Fd(page.file_id));
+  ssize_t n = ::pread(fd, out, kPageSize,
+                      static_cast<off_t>(page.page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short read of page " + page.ToString());
+  }
+  if (disk_ != nullptr) {
+    if (sequential) {
+      disk_->ChargeSequentialRead(kPageSize);
+    } else {
+      disk_->ChargeRandomRead(kPageSize);
+    }
+  }
+  return Status::OK();
+}
+
+Status FileManager::WritePage(PageId page, const uint8_t* data) {
+  HARBOR_ASSIGN_OR_RETURN(int fd, Fd(page.file_id));
+  ssize_t n = ::pwrite(fd, data, kPageSize,
+                       static_cast<off_t>(page.page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short write of page " + page.ToString());
+  }
+  if (disk_ != nullptr) disk_->ChargeWrite(kPageSize);
+  return Status::OK();
+}
+
+Result<uint32_t> FileManager::AllocatePage(uint32_t file_id) {
+  HARBOR_ASSIGN_OR_RETURN(int fd, Fd(file_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t page_no = sizes_[file_id];
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  ssize_t n = ::pwrite(fd, zeros.data(), kPageSize,
+                       static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("failed to extend file " + std::to_string(file_id));
+  }
+  sizes_[file_id] = page_no + 1;
+  if (disk_ != nullptr) disk_->ChargeWrite(kPageSize);
+  return page_no;
+}
+
+Result<uint32_t> FileManager::NumPages(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sizes_.find(file_id);
+  if (it == sizes_.end()) {
+    return Status::NotFound("file " + std::to_string(file_id) + " not open");
+  }
+  return it->second;
+}
+
+}  // namespace harbor

@@ -1,0 +1,72 @@
+#ifndef HARBOR_STORAGE_FILE_MANAGER_H_
+#define HARBOR_STORAGE_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/sim_disk.h"
+
+namespace harbor {
+
+/// \brief Page-granularity file storage for one site.
+///
+/// Each site owns a directory; each table object's segmented heap file is a
+/// real file `f<file_id>.hf` inside it. All page reads and writes perform
+/// real I/O (so crash/restart durability is genuine: a "crashed" site's
+/// runtime is discarded and a fresh one reopens the same files) and
+/// additionally charge the simulated disk cost model.
+///
+/// File ids are assigned by the caller (the local catalog uses the object
+/// id) so that PageIds embedded in log records and indexes remain stable
+/// across restarts.
+class FileManager {
+ public:
+  /// `data_disk` may be null (no cost model, e.g. in unit tests).
+  FileManager(std::string dir, SimDisk* data_disk);
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Opens (creating if necessary) the file with the given id.
+  Status OpenOrCreate(uint32_t file_id);
+
+  /// Deletes the file (used by tests and object drops).
+  Status Delete(uint32_t file_id);
+
+  /// Reads one page. `sequential` selects the cost model (scan vs point
+  /// access).
+  Status ReadPage(PageId page, uint8_t* out, bool sequential);
+
+  /// Writes one page (asynchronous cost model: no seek charge; data pages
+  /// are never forced — only the WAL uses forced writes).
+  Status WritePage(PageId page, const uint8_t* data);
+
+  /// Appends a zeroed page and returns its page number.
+  Result<uint32_t> AllocatePage(uint32_t file_id);
+
+  /// Number of pages currently in the file.
+  Result<uint32_t> NumPages(uint32_t file_id);
+
+  const std::string& dir() const { return dir_; }
+  SimDisk* disk() const { return disk_; }
+
+ private:
+  Result<int> Fd(uint32_t file_id);
+  std::string PathFor(uint32_t file_id) const;
+
+  const std::string dir_;
+  SimDisk* const disk_;
+  std::mutex mu_;
+  std::unordered_map<uint32_t, int> fds_;        // guarded by mu_
+  std::unordered_map<uint32_t, uint32_t> sizes_; // pages, guarded by mu_
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_FILE_MANAGER_H_

@@ -1,0 +1,157 @@
+#include "storage/local_catalog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/byte_buffer.h"
+
+namespace harbor {
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x48524243;  // "HRBC"
+}  // namespace
+
+LocalCatalog::LocalCatalog(FileManager* fm) : fm_(fm) {}
+
+Result<TableObject*> LocalCatalog::CreateObject(
+    ObjectId object_id, TableId table_id, std::string name, Schema schema,
+    PartitionRange partition, uint32_t segment_page_budget,
+    const std::string& indexed_column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.count(object_id)) {
+    return Status::AlreadyExists("object " + std::to_string(object_id));
+  }
+  auto obj = std::make_unique<TableObject>();
+  obj->object_id = object_id;
+  obj->table_id = table_id;
+  obj->name = std::move(name);
+  obj->schema = std::move(schema);
+  obj->partition = std::move(partition);
+  obj->segment_page_budget = segment_page_budget;
+  if (!indexed_column.empty()) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx,
+                            obj->schema.ColumnIndex(indexed_column));
+    const ColumnType type = obj->schema.column(idx).type;
+    if (type != ColumnType::kInt32 && type != ColumnType::kInt64) {
+      return Status::InvalidArgument(
+          "secondary indexes support integer columns only");
+    }
+    obj->secondary = std::make_unique<SecondaryIndex>(indexed_column);
+    obj->secondary_column = static_cast<int>(idx);
+  }
+  HARBOR_ASSIGN_OR_RETURN(
+      obj->file, SegmentedHeapFile::Create(fm_, object_id,
+                                           obj->schema.tuple_bytes(),
+                                           segment_page_budget));
+  obj->index_built = true;  // a brand-new object is empty
+  TableObject* raw = obj.get();
+  objects_[object_id] = std::move(obj);
+  HARBOR_RETURN_NOT_OK(Persist());
+  return raw;
+}
+
+Status LocalCatalog::OpenAll() {
+  const std::string path = fm_->dir() + "/catalog.meta";
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();  // fresh site
+    return Status::IoError("open catalog: " + std::string(std::strerror(errno)));
+  }
+  std::vector<uint8_t> buf;
+  uint8_t chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  ByteBufferReader in(buf);
+  HARBOR_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
+  if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  HARBOR_ASSIGN_OR_RETURN(uint32_t count, in.ReadU32());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto obj = std::make_unique<TableObject>();
+    HARBOR_ASSIGN_OR_RETURN(obj->object_id, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(obj->table_id, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(obj->name, in.ReadString());
+    HARBOR_ASSIGN_OR_RETURN(obj->schema, Schema::Deserialize(&in));
+    HARBOR_ASSIGN_OR_RETURN(obj->partition, PartitionRange::Deserialize(&in));
+    HARBOR_ASSIGN_OR_RETURN(obj->segment_page_budget, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(std::string indexed_column, in.ReadString());
+    if (!indexed_column.empty()) {
+      HARBOR_ASSIGN_OR_RETURN(size_t idx,
+                              obj->schema.ColumnIndex(indexed_column));
+      obj->secondary = std::make_unique<SecondaryIndex>(indexed_column);
+      obj->secondary_column = static_cast<int>(idx);
+    }
+    HARBOR_ASSIGN_OR_RETURN(obj->file,
+                            SegmentedHeapFile::Open(fm_, obj->object_id));
+    objects_[obj->object_id] = std::move(obj);
+  }
+  return Status::OK();
+}
+
+Status LocalCatalog::Persist() {
+  ByteBufferWriter out;
+  out.WriteU32(kCatalogMagic);
+  out.WriteU32(static_cast<uint32_t>(objects_.size()));
+  for (const auto& [id, obj] : objects_) {
+    out.WriteU32(obj->object_id);
+    out.WriteU32(obj->table_id);
+    out.WriteString(obj->name);
+    obj->schema.Serialize(&out);
+    obj->partition.Serialize(&out);
+    out.WriteU32(obj->segment_page_budget);
+    out.WriteString(obj->secondary ? obj->secondary->column() : "");
+  }
+  const std::string path = fm_->dir() + "/catalog.meta";
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open catalog tmp: " +
+                           std::string(std::strerror(errno)));
+  }
+  ssize_t n = ::write(fd, out.data().data(), out.size());
+  ::fsync(fd);
+  ::close(fd);
+  if (n != static_cast<ssize_t>(out.size())) {
+    return Status::IoError("short catalog write");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename catalog: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<TableObject*> LocalCatalog::GetObject(ObjectId object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(object_id));
+  }
+  return it->second.get();
+}
+
+Result<TableObject*> LocalCatalog::GetObjectByName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, obj] : objects_) {
+    if (obj->name == name) return obj.get();
+  }
+  return Status::NotFound("object '" + name + "'");
+}
+
+std::vector<TableObject*> LocalCatalog::objects() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableObject*> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) out.push_back(obj.get());
+  return out;
+}
+
+}  // namespace harbor

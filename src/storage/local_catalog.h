@@ -1,0 +1,81 @@
+#ifndef HARBOR_STORAGE_LOCAL_CATALOG_H_
+#define HARBOR_STORAGE_LOCAL_CATALOG_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/file_manager.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+#include "storage/secondary_index.h"
+#include "storage/segmented_heap_file.h"
+#include "storage/tuple_index.h"
+
+namespace harbor {
+
+/// \brief One physical table object stored at a site: a replica (or
+/// horizontal partition of a replica) of a logical table, with its own
+/// physical representation.
+struct TableObject {
+  ObjectId object_id = 0;
+  TableId table_id = 0;
+  std::string name;
+  Schema schema;  // possibly a reordering of the logical schema
+  PartitionRange partition;
+  uint32_t segment_page_budget = 0;
+  std::unique_ptr<SegmentedHeapFile> file;
+  TupleIdIndex index;  // volatile; rebuilt lazily after a restart
+  /// True once the index covers the on-disk contents (fresh objects start
+  /// covered; reopened objects need VersionStore::EnsureIndex).
+  std::atomic<bool> index_built{false};
+
+  /// Optional per-segment secondary index on one integer column (§4.2);
+  /// null when the object is unindexed. Volatile like the tuple-id index.
+  std::unique_ptr<SecondaryIndex> secondary;
+  /// Index of the indexed column within `schema` (-1 when none).
+  int secondary_column = -1;
+};
+
+/// \brief The per-site catalog of stored objects, persisted in the site
+/// directory so a restarted site rediscovers its objects (metadata writes
+/// are forced at DDL time; DDL is not part of the measured workloads).
+class LocalCatalog {
+ public:
+  explicit LocalCatalog(FileManager* fm);
+
+  /// Creates a new object backed by a fresh segmented heap file.
+  /// `indexed_column` names an INT32/INT64 column to maintain a per-segment
+  /// secondary index on ("" = none).
+  Result<TableObject*> CreateObject(ObjectId object_id, TableId table_id,
+                                    std::string name, Schema schema,
+                                    PartitionRange partition,
+                                    uint32_t segment_page_budget,
+                                    const std::string& indexed_column = "");
+
+  /// Reopens all objects recorded in the on-disk catalog. Indexes are left
+  /// empty; callers rebuild them (see VersionStore::RebuildIndex).
+  Status OpenAll();
+
+  Result<TableObject*> GetObject(ObjectId object_id);
+  Result<TableObject*> GetObjectByName(const std::string& name);
+  std::vector<TableObject*> objects();
+
+  FileManager* file_manager() const { return fm_; }
+
+ private:
+  Status Persist();
+
+  FileManager* const fm_;
+  std::mutex mu_;
+  std::unordered_map<ObjectId, std::unique_ptr<TableObject>> objects_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_LOCAL_CATALOG_H_

@@ -1,0 +1,76 @@
+#ifndef HARBOR_STORAGE_PARTITION_H_
+#define HARBOR_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+
+namespace harbor {
+
+/// \brief A horizontal partition descriptor: the half-open key range
+/// [lo, hi) on one integer column, or the full table when `column` is empty.
+///
+/// K-safe placements may split a replica horizontally across sites (§3.2,
+/// §5.1's EMP2A/EMP2B example). Recovery predicates are computed by
+/// intersecting the recovering object's range with each buddy object's range.
+struct PartitionRange {
+  std::string column;  // empty => full copy
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  static PartitionRange Full() { return PartitionRange{}; }
+  static PartitionRange On(std::string column, int64_t lo, int64_t hi) {
+    return PartitionRange{std::move(column), lo, hi};
+  }
+
+  bool IsFull() const { return column.empty(); }
+
+  bool Contains(int64_t key) const {
+    return IsFull() || (key >= lo && key < hi);
+  }
+
+  /// Intersection of two ranges; nullopt when empty. Ranges on different
+  /// columns cannot be intersected (the catalog never mixes them for one
+  /// table).
+  static std::optional<PartitionRange> Intersect(const PartitionRange& a,
+                                                 const PartitionRange& b) {
+    if (a.IsFull()) return b;
+    if (b.IsFull()) return a;
+    if (a.column != b.column) return std::nullopt;
+    PartitionRange r = a;
+    r.lo = std::max(a.lo, b.lo);
+    r.hi = std::min(a.hi, b.hi);
+    if (r.lo >= r.hi) return std::nullopt;
+    return r;
+  }
+
+  void Serialize(ByteBufferWriter* out) const {
+    out->WriteString(column);
+    out->WriteI64(lo);
+    out->WriteI64(hi);
+  }
+
+  static Result<PartitionRange> Deserialize(ByteBufferReader* in) {
+    PartitionRange r;
+    HARBOR_ASSIGN_OR_RETURN(r.column, in->ReadString());
+    HARBOR_ASSIGN_OR_RETURN(r.lo, in->ReadI64());
+    HARBOR_ASSIGN_OR_RETURN(r.hi, in->ReadI64());
+    return r;
+  }
+
+  bool operator==(const PartitionRange&) const = default;
+
+  std::string ToString() const {
+    if (IsFull()) return "[full]";
+    return column + " in [" + std::to_string(lo) + ", " + std::to_string(hi) +
+           ")";
+  }
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_PARTITION_H_

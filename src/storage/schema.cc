@@ -1,0 +1,92 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+namespace harbor {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  payload_bytes_ = off;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+uint32_t Schema::tuple_bytes() const {
+  return kTupleSystemHeaderBytes + payload_bytes_;
+}
+
+Schema Schema::Reordered(const std::vector<size_t>& order) const {
+  std::vector<Column> cols;
+  cols.reserve(order.size());
+  for (size_t i : order) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+bool Schema::LogicallyEquals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (const Column& c : columns_) {
+    auto idx = other.ColumnIndex(c.name);
+    if (!idx.ok()) return false;
+    const Column& oc = other.column(*idx);
+    if (oc.type != c.type || oc.width != c.width) return false;
+  }
+  return true;
+}
+
+Result<std::vector<size_t>> Schema::MappingFrom(const Schema& src) const {
+  std::vector<size_t> mapping;
+  mapping.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx, src.ColumnIndex(c.name));
+    mapping.push_back(idx);
+  }
+  return mapping;
+}
+
+void Schema::Serialize(ByteBufferWriter* out) const {
+  out->WriteU32(static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    out->WriteString(c.name);
+    out->WriteU8(static_cast<uint8_t>(c.type));
+    out->WriteU32(c.width);
+  }
+}
+
+Result<Schema> Schema::Deserialize(ByteBufferReader* in) {
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in->ReadU32());
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    HARBOR_ASSIGN_OR_RETURN(c.name, in->ReadString());
+    HARBOR_ASSIGN_OR_RETURN(uint8_t type, in->ReadU8());
+    c.type = static_cast<ColumnType>(type);
+    HARBOR_ASSIGN_OR_RETURN(c.width, in->ReadU32());
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += ColumnTypeToString(columns_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace harbor

@@ -1,0 +1,102 @@
+#ifndef HARBOR_STORAGE_SCHEMA_H_
+#define HARBOR_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace harbor {
+
+/// \brief One user column: a name, a type, and a byte width.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Byte width on the page. Implied by type except for kChar.
+  uint32_t width = 8;
+
+  static Column Int32(std::string name) {
+    return Column{std::move(name), ColumnType::kInt32, 4};
+  }
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8};
+  }
+  static Column Double(std::string name) {
+    return Column{std::move(name), ColumnType::kDouble, 8};
+  }
+  static Column Char(std::string name, uint32_t width) {
+    return Column{std::move(name), ColumnType::kChar, width};
+  }
+
+  bool operator==(const Column&) const = default;
+};
+
+/// \brief The relational schema of a table object: the ordered list of user
+/// columns.
+///
+/// Every physical tuple is additionally prefixed by three reserved system
+/// fields — insertion timestamp, deletion timestamp, and tuple id (§3.3,
+/// §5.3) — which are not part of the Schema; they are exposed through the
+/// Tuple system header instead. Two replicas of the same logical table may
+/// use Schemas with the same column *set* in a different *order* (HARBOR
+/// does not require identical physical representations, §3.1); recovery
+/// copies map columns by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Byte offset of column `i` within the packed user payload (system header
+  /// excluded).
+  uint32_t ColumnOffset(size_t i) const { return offsets_[i]; }
+
+  /// Packed byte size of the user payload.
+  uint32_t payload_bytes() const { return payload_bytes_; }
+
+  /// Total packed tuple size on the page: system header + payload.
+  uint32_t tuple_bytes() const;
+
+  /// Returns a schema with the same columns in a different order, for
+  /// building physically non-identical replicas. `order` lists source column
+  /// indices.
+  Schema Reordered(const std::vector<size_t>& order) const;
+
+  /// True if `other` has exactly the same column set (by name and type),
+  /// regardless of order — i.e. the two schemas can represent the same
+  /// logical data.
+  bool LogicallyEquals(const Schema& other) const;
+
+  /// Computes, for each column of this schema, the index of the same-named
+  /// column in `src`; NotFound if any column is missing.
+  Result<std::vector<size_t>> MappingFrom(const Schema& src) const;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<Schema> Deserialize(ByteBufferReader* in);
+
+  bool operator==(const Schema&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t payload_bytes_ = 0;
+};
+
+/// Byte size of the per-tuple system header (insertion_ts, deletion_ts,
+/// tuple_id; 8 bytes each).
+inline constexpr uint32_t kTupleSystemHeaderBytes = 24;
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_SCHEMA_H_

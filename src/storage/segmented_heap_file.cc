@@ -1,0 +1,322 @@
+#include "storage/segmented_heap_file.h"
+
+#include <cstring>
+
+#include "common/byte_buffer.h"
+
+namespace harbor {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x48524246;  // "HRBF"
+constexpr uint16_t kFlagDropped = 1u << 0;
+constexpr uint16_t kFlagMayHaveUncommitted = 1u << 1;
+// Fixed header prelude: magic, tuple_bytes, segment_page_budget, num_segments.
+constexpr uint32_t kPreludeBytes = 16;
+// Per-segment encoding: 3 timestamps + start_page + num_pages + flags.
+constexpr uint32_t kSegmentEntryBytes = 8 * 3 + 4 + 2 + 2;
+
+}  // namespace
+
+SegmentedHeapFile::SegmentedHeapFile(FileManager* fm, uint32_t file_id)
+    : fm_(fm), file_id_(file_id) {}
+
+Result<std::unique_ptr<SegmentedHeapFile>> SegmentedHeapFile::Create(
+    FileManager* fm, uint32_t file_id, uint32_t tuple_bytes,
+    uint32_t segment_page_budget) {
+  if (segment_page_budget == 0) {
+    return Status::InvalidArgument("segment page budget must be positive");
+  }
+  HARBOR_RETURN_NOT_OK(fm->OpenOrCreate(file_id));
+  HARBOR_ASSIGN_OR_RETURN(uint32_t pages, fm->NumPages(file_id));
+  if (pages != 0) {
+    return Status::AlreadyExists("file " + std::to_string(file_id) +
+                                 " is not empty");
+  }
+  for (uint32_t i = 0; i < kHeaderPages; ++i) {
+    HARBOR_RETURN_NOT_OK(fm->AllocatePage(file_id).status());
+  }
+  auto f = std::unique_ptr<SegmentedHeapFile>(
+      new SegmentedHeapFile(fm, file_id));
+  f->tuple_bytes_ = tuple_bytes;
+  f->segment_page_budget_ = segment_page_budget;
+  SegmentInfo first;
+  first.start_page = kHeaderPages;
+  f->segments_.push_back(first);
+  {
+    std::lock_guard<std::mutex> lock(f->mu_);
+    f->header_dirty_ = true;
+    HARBOR_RETURN_NOT_OK(f->WriteHeaderLocked());
+  }
+  return f;
+}
+
+Result<std::unique_ptr<SegmentedHeapFile>> SegmentedHeapFile::Open(
+    FileManager* fm, uint32_t file_id) {
+  HARBOR_RETURN_NOT_OK(fm->OpenOrCreate(file_id));
+  auto f = std::unique_ptr<SegmentedHeapFile>(
+      new SegmentedHeapFile(fm, file_id));
+  HARBOR_RETURN_NOT_OK(f->LoadHeader());
+  // Page allocations are durable the moment they extend the file, but the
+  // directory entry covering them may not have been synced before a crash.
+  // Extend the directory over the allocated tail; any such page either is
+  // all zeros (never flushed — content flushes force a header sync first)
+  // or was covered by a synced header already.
+  HARBOR_ASSIGN_OR_RETURN(uint32_t pages, fm->NumPages(file_id));
+  HARBOR_RETURN_NOT_OK(f->ReconcileWithFileSize(pages));
+  return f;
+}
+
+Status SegmentedHeapFile::LoadHeader() {
+  std::vector<uint8_t> buf(kHeaderPages * kPageSize);
+  for (uint32_t i = 0; i < kHeaderPages; ++i) {
+    HARBOR_RETURN_NOT_OK(fm_->ReadPage(PageId{file_id_, i},
+                                       buf.data() + i * kPageSize,
+                                       /*sequential=*/true));
+  }
+  ByteBufferReader in(buf.data(), buf.size());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
+  if (magic != kMagic) {
+    return Status::Corruption("bad magic in segmented heap file header");
+  }
+  HARBOR_ASSIGN_OR_RETURN(tuple_bytes_, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(segment_page_budget_, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_.clear();
+  segments_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SegmentInfo s;
+    HARBOR_ASSIGN_OR_RETURN(s.min_insertion, in.ReadU64());
+    HARBOR_ASSIGN_OR_RETURN(s.max_insertion, in.ReadU64());
+    HARBOR_ASSIGN_OR_RETURN(s.max_deletion, in.ReadU64());
+    HARBOR_ASSIGN_OR_RETURN(s.start_page, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(s.num_pages, in.ReadU16());
+    HARBOR_ASSIGN_OR_RETURN(uint16_t flags, in.ReadU16());
+    s.dropped = (flags & kFlagDropped) != 0;
+    s.may_have_uncommitted = (flags & kFlagMayHaveUncommitted) != 0;
+    segments_.push_back(s);
+  }
+  return Status::OK();
+}
+
+Status SegmentedHeapFile::WriteHeaderLocked() {
+  if (!header_dirty_) return Status::OK();
+  const size_t max_segments =
+      (kHeaderPages * kPageSize - kPreludeBytes) / kSegmentEntryBytes;
+  if (segments_.size() > max_segments) {
+    return Status::OutOfRange("too many segments for header region");
+  }
+  ByteBufferWriter out;
+  out.WriteU32(kMagic);
+  out.WriteU32(tuple_bytes_);
+  out.WriteU32(segment_page_budget_);
+  out.WriteU32(static_cast<uint32_t>(segments_.size()));
+  for (const SegmentInfo& s : segments_) {
+    out.WriteU64(s.min_insertion);
+    out.WriteU64(s.max_insertion);
+    out.WriteU64(s.max_deletion);
+    out.WriteU32(s.start_page);
+    out.WriteU16(s.num_pages);
+    uint16_t flags = 0;
+    if (s.dropped) flags |= kFlagDropped;
+    if (s.may_have_uncommitted) flags |= kFlagMayHaveUncommitted;
+    out.WriteU16(flags);
+  }
+  std::vector<uint8_t> buf(kHeaderPages * kPageSize, 0);
+  std::memcpy(buf.data(), out.data().data(), out.size());
+  const uint32_t pages_used =
+      static_cast<uint32_t>((out.size() + kPageSize - 1) / kPageSize);
+  for (uint32_t i = 0; i < pages_used; ++i) {
+    HARBOR_RETURN_NOT_OK(
+        fm_->WritePage(PageId{file_id_, i}, buf.data() + i * kPageSize));
+  }
+  header_dirty_ = false;
+  return Status::OK();
+}
+
+size_t SegmentedHeapFile::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+SegmentInfo SegmentedHeapFile::segment(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_[i];
+}
+
+size_t SegmentedHeapFile::last_segment_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size() - 1;
+}
+
+std::vector<PageId> SegmentedHeapFile::PagesOfSegment(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& s = segments_[i];
+  std::vector<PageId> pages;
+  pages.reserve(s.num_pages);
+  for (uint16_t p = 0; p < s.num_pages; ++p) {
+    pages.push_back(PageId{file_id_, s.start_page + p});
+  }
+  return pages;
+}
+
+Result<PageId> SegmentedHeapFile::AppendPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentInfo* last = &segments_.back();
+  if (last->num_pages >= segment_page_budget_) {
+    SegmentInfo next;
+    next.start_page = last->start_page + last->num_pages;
+    segments_.push_back(next);
+    last = &segments_.back();
+    header_dirty_ = true;
+  }
+  HARBOR_ASSIGN_OR_RETURN(uint32_t page_no, fm_->AllocatePage(file_id_));
+  HARBOR_CHECK(page_no == last->start_page + last->num_pages);
+  last->num_pages++;
+  header_dirty_ = true;
+  // The directory must reach disk before any data page of the new segment
+  // can be flushed; the buffer pool's pre-flush hook enforces that, so we
+  // only mark dirty here.
+  return PageId{file_id_, page_no};
+}
+
+Status SegmentedHeapFile::StartNewSegment() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& last = segments_.back();
+  if (last.num_pages == 0) return Status::OK();  // already fresh
+  SegmentInfo next;
+  next.start_page = last.start_page + last.num_pages;
+  segments_.push_back(next);
+  header_dirty_ = true;
+  return Status::OK();
+}
+
+Result<size_t> SegmentedHeapFile::BulkDropOldestSegment() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (!segments_[i].dropped) {
+      // Never drop the open segment out from under the insert path.
+      if (i + 1 == segments_.size()) {
+        return Status::InvalidArgument("cannot bulk-drop the open segment");
+      }
+      segments_[i].dropped = true;
+      header_dirty_ = true;
+      HARBOR_RETURN_NOT_OK(WriteHeaderLocked());
+      return i;
+    }
+  }
+  return Status::NotFound("no segments to drop");
+}
+
+void SegmentedHeapFile::NoteCommittedInsertion(size_t segment_idx,
+                                               Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentInfo& s = segments_[segment_idx];
+  if (ts < s.min_insertion) {
+    s.min_insertion = ts;
+    header_dirty_ = true;
+  }
+  if (ts > s.max_insertion) {
+    s.max_insertion = ts;
+    header_dirty_ = true;
+  }
+}
+
+void SegmentedHeapFile::NoteCommittedDeletion(size_t segment_idx,
+                                              Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentInfo& s = segments_[segment_idx];
+  if (ts > s.max_deletion) {
+    s.max_deletion = ts;
+    header_dirty_ = true;
+  }
+}
+
+void SegmentedHeapFile::NoteUncommittedInsertion(size_t segment_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentInfo& s = segments_[segment_idx];
+  if (!s.may_have_uncommitted) {
+    s.may_have_uncommitted = true;
+    header_dirty_ = true;
+  }
+}
+
+void SegmentedHeapFile::ResetUncommittedFlags(
+    const std::vector<size_t>& still_uncommitted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    bool keep = false;
+    for (size_t j : still_uncommitted) keep |= (j == i);
+    if (segments_[i].may_have_uncommitted && !keep) {
+      segments_[i].may_have_uncommitted = false;
+      header_dirty_ = true;
+    }
+  }
+}
+
+Result<size_t> SegmentedHeapFile::SegmentOfPage(uint32_t page_no) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const SegmentInfo& s = segments_[i];
+    if (page_no >= s.start_page && page_no < s.start_page + s.num_pages) {
+      return i;
+    }
+  }
+  return Status::NotFound("page " + std::to_string(page_no) +
+                          " not in any segment");
+}
+
+bool SegmentedHeapFile::MayContainInsertionAtOrBefore(size_t i,
+                                                      Timestamp t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& s = segments_[i];
+  if (s.dropped) return false;
+  // min_insertion is +inf while the segment has no committed tuples.
+  return s.min_insertion <= t;
+}
+
+bool SegmentedHeapFile::MayContainInsertionAfter(size_t i, Timestamp t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& s = segments_[i];
+  if (s.dropped) return false;
+  return s.max_insertion > t;
+}
+
+bool SegmentedHeapFile::MayContainDeletionAfter(size_t i, Timestamp t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& s = segments_[i];
+  if (s.dropped) return false;
+  return s.max_deletion > t;
+}
+
+bool SegmentedHeapFile::MayContainUncommitted(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentInfo& s = segments_[i];
+  return !s.dropped && s.may_have_uncommitted;
+}
+
+Status SegmentedHeapFile::ReconcileWithFileSize(uint32_t actual_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (true) {
+    SegmentInfo& last = segments_.back();
+    const uint32_t covered = last.start_page + last.num_pages;
+    if (covered >= actual_pages) break;
+    if (last.num_pages < segment_page_budget_) {
+      last.num_pages++;
+    } else {
+      SegmentInfo next;
+      next.start_page = covered;
+      segments_.push_back(next);
+    }
+    header_dirty_ = true;
+  }
+  return WriteHeaderLocked();
+}
+
+Status SegmentedHeapFile::SyncHeaderIfDirty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteHeaderLocked();
+}
+
+}  // namespace harbor

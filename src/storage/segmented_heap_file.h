@@ -1,0 +1,146 @@
+#ifndef HARBOR_STORAGE_SEGMENTED_HEAP_FILE_H_
+#define HARBOR_STORAGE_SEGMENTED_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/file_manager.h"
+
+namespace harbor {
+
+/// \brief Metadata for one segment of a table object (§4.2).
+///
+/// A segment is a contiguous run of heap pages holding all tuples *inserted*
+/// during one time range. Each segment is annotated with timestamps that let
+/// recovery queries prune their search space:
+///  - min_insertion / max_insertion bound the committed insertion timestamps
+///    present in the segment (the paper derives the upper bound from the
+///    next segment's minimum; we store it explicitly, which stays correct
+///    even when a long-running transaction commits into an older segment);
+///  - max_deletion is the most recent time a tuple in this segment was
+///    deleted or updated;
+///  - may_have_uncommitted marks segments that may contain STEAL-flushed
+///    uncommitted tuples, so recovery Phase 1 can find them (§5.2).
+struct SegmentInfo {
+  Timestamp min_insertion = kUncommittedTimestamp;  // +inf until first commit
+  Timestamp max_insertion = 0;
+  Timestamp max_deletion = 0;
+  uint32_t start_page = 0;
+  uint16_t num_pages = 0;
+  bool dropped = false;               // bulk-dropped (§4.2)
+  bool may_have_uncommitted = false;
+};
+
+/// \brief A heap file partitioned by insertion timestamp into segments
+/// (Figure 4-1).
+///
+/// This class owns the *structure* — the segment directory persisted in a
+/// fixed header region (pages [0, kHeaderPages)) and the mapping from
+/// segments to page ranges. Tuple-level operations go through the buffer
+/// pool above; the directory here is what recovery's three range predicates
+/// (insertion <= T, insertion > T, deletion > T) consult for pruning.
+///
+/// Durability ordering invariant: the on-disk directory's timestamps must
+/// always *cover* any timestamps present in on-disk data pages, or post-crash
+/// pruning would skip segments it must scan. The buffer pool therefore calls
+/// SyncHeaderIfDirty() before flushing any data page of this file.
+class SegmentedHeapFile {
+ public:
+  /// Number of pages reserved for the segment directory at the front of the
+  /// file; bounds the number of segments (~500 with the current encoding).
+  static constexpr uint32_t kHeaderPages = 4;
+
+  /// Creates a new empty segmented file (with one open segment).
+  static Result<std::unique_ptr<SegmentedHeapFile>> Create(
+      FileManager* fm, uint32_t file_id, uint32_t tuple_bytes,
+      uint32_t segment_page_budget);
+
+  /// Opens an existing file, loading the segment directory from disk.
+  static Result<std::unique_ptr<SegmentedHeapFile>> Open(FileManager* fm,
+                                                         uint32_t file_id);
+
+  uint32_t file_id() const { return file_id_; }
+  uint32_t tuple_bytes() const { return tuple_bytes_; }
+  uint32_t segment_page_budget() const { return segment_page_budget_; }
+
+  size_t num_segments() const;
+  SegmentInfo segment(size_t i) const;
+
+  /// Index of the open (last) segment.
+  size_t last_segment_index() const;
+
+  /// Returns the page to insert into: the last page of the open segment, or
+  /// kInvalidPage sentinel (page_no == UINT32_MAX) if a new page is needed.
+  /// (The insert path scans existing pages for free slots first — dense
+  /// packing, §6.1.1 — and calls AppendPage when all are full.)
+  std::vector<PageId> PagesOfSegment(size_t i) const;
+
+  /// Appends a fresh page to the open segment, rolling over to a new segment
+  /// when the open one has reached its page budget. Returns the new PageId.
+  Result<PageId> AppendPage();
+
+  /// Explicitly closes the open segment and starts a new one (bulk load
+  /// boundary, §4.2).
+  Status StartNewSegment();
+
+  /// Marks the oldest non-dropped segment dropped ("bulk drop", §4.2).
+  /// Returns the index of the dropped segment, or NotFound if none remain.
+  Result<size_t> BulkDropOldestSegment();
+
+  /// Timestamp maintenance, called by the versioning layer at commit time.
+  void NoteCommittedInsertion(size_t segment_idx, Timestamp ts);
+  void NoteCommittedDeletion(size_t segment_idx, Timestamp ts);
+  void NoteUncommittedInsertion(size_t segment_idx);
+  /// Clears may_have_uncommitted on all segments except those listed (called
+  /// by the checkpointer, which knows which segments still hold uncommitted
+  /// tuples of live transactions).
+  void ResetUncommittedFlags(const std::vector<size_t>& still_uncommitted);
+
+  /// Returns the segment index containing `page_no`, or NotFound.
+  Result<size_t> SegmentOfPage(uint32_t page_no) const;
+
+  /// Pruning predicates for the three recovery range scans (§4.2). All are
+  /// conservative (may return true for a prunable segment, never false for a
+  /// needed one).
+  bool MayContainInsertionAtOrBefore(size_t i, Timestamp t) const;
+  bool MayContainInsertionAfter(size_t i, Timestamp t) const;
+  bool MayContainDeletionAfter(size_t i, Timestamp t) const;
+  bool MayContainUncommitted(size_t i) const;
+
+  /// Extends the directory to cover `actual_pages` pages (distributing any
+  /// uncovered tail over the open segment and, past its budget, new
+  /// segments). Used by ARIES restart: page allocations are durable
+  /// immediately, but the directory entry describing them may not have been
+  /// synced before the crash.
+  Status ReconcileWithFileSize(uint32_t actual_pages);
+
+  /// Persists the segment directory if it changed since the last sync. Must
+  /// be called before flushing any data page of this file (see class
+  /// comment) and at checkpoints.
+  Status SyncHeaderIfDirty();
+
+ private:
+  SegmentedHeapFile(FileManager* fm, uint32_t file_id);
+
+  Status LoadHeader();
+  Status WriteHeaderLocked();
+
+  FileManager* const fm_;
+  const uint32_t file_id_;
+  uint32_t tuple_bytes_ = 0;
+  uint32_t segment_page_budget_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<SegmentInfo> segments_;  // guarded by mu_
+  bool header_dirty_ = false;          // guarded by mu_
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_SEGMENTED_HEAP_FILE_H_

@@ -1,0 +1,68 @@
+#ifndef HARBOR_STORAGE_TUPLE_INDEX_H_
+#define HARBOR_STORAGE_TUPLE_INDEX_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harbor {
+
+/// \brief In-memory primary index from tuple id to the record ids of its
+/// versions (§6.1.5: "primary indices based on tuple identifiers").
+///
+/// An updated tuple has multiple versions sharing one tuple id; lookups
+/// return all of them and callers filter by deletion timestamp (recovery's
+/// UPDATE ... WHERE tuple_id = X AND deletion_time = 0 targets the newest
+/// version, §5.3). The index is volatile: it is rebuilt by scanning the
+/// object when a site restarts — "indices can be recovered as a side effect
+/// of adding or deleting tuples from the object during recovery" (§5.1).
+class TupleIdIndex {
+ public:
+  void Insert(TupleId tid, RecordId rid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[tid].push_back(rid);
+  }
+
+  void Remove(TupleId tid, RecordId rid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(tid);
+    if (it == map_.end()) return;
+    auto& vec = it->second;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == rid) {
+        vec.erase(vec.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (vec.empty()) map_.erase(it);
+  }
+
+  /// All version locations for a tuple id (copy; safe under concurrency).
+  std::vector<RecordId> Lookup(TupleId tid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(tid);
+    return it == map_.end() ? std::vector<RecordId>{} : it->second;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [tid, vec] : map_) n += vec.size();
+    return n;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TupleId, std::vector<RecordId>> map_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_TUPLE_INDEX_H_

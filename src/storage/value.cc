@@ -1,0 +1,35 @@
+#include "storage/value.h"
+
+namespace harbor {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32: return "INT32";
+    case ColumnType::kInt64: return "INT64";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kChar: return "CHAR";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::operator<(const Value& other) const {
+  // Strings compare lexicographically; everything else numerically. Mixed
+  // numeric types compare by widened value so INT32(3) < INT64(4).
+  const bool lhs_str = type() == ColumnType::kChar;
+  const bool rhs_str = other.type() == ColumnType::kChar;
+  HARBOR_CHECK(lhs_str == rhs_str);
+  if (lhs_str) return AsString() < other.AsString();
+  return AsNumeric() < other.AsNumeric();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt32: return std::to_string(AsInt32());
+    case ColumnType::kInt64: return std::to_string(AsInt64());
+    case ColumnType::kDouble: return std::to_string(AsDouble());
+    case ColumnType::kChar: return AsString();
+  }
+  return "?";
+}
+
+}  // namespace harbor

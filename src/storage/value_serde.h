@@ -1,0 +1,47 @@
+#ifndef HARBOR_STORAGE_VALUE_SERDE_H_
+#define HARBOR_STORAGE_VALUE_SERDE_H_
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace harbor {
+
+/// Writes a self-describing (type-tagged) value.
+inline void WriteValue(ByteBufferWriter* out, const Value& v) {
+  out->WriteU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ColumnType::kInt32: out->WriteI32(v.AsInt32()); break;
+    case ColumnType::kInt64: out->WriteI64(v.AsInt64()); break;
+    case ColumnType::kDouble: out->WriteDouble(v.AsDouble()); break;
+    case ColumnType::kChar: out->WriteString(v.AsString()); break;
+  }
+}
+
+/// Reads a value written by WriteValue.
+inline Result<Value> ReadValue(ByteBufferReader* in) {
+  HARBOR_ASSIGN_OR_RETURN(uint8_t type, in->ReadU8());
+  switch (static_cast<ColumnType>(type)) {
+    case ColumnType::kInt32: {
+      HARBOR_ASSIGN_OR_RETURN(int32_t v, in->ReadI32());
+      return Value(v);
+    }
+    case ColumnType::kInt64: {
+      HARBOR_ASSIGN_OR_RETURN(int64_t v, in->ReadI64());
+      return Value(v);
+    }
+    case ColumnType::kDouble: {
+      HARBOR_ASSIGN_OR_RETURN(double v, in->ReadDouble());
+      return Value(v);
+    }
+    case ColumnType::kChar: {
+      HARBOR_ASSIGN_OR_RETURN(std::string v, in->ReadString());
+      return Value(std::move(v));
+    }
+  }
+  return Status::Corruption("bad value type tag");
+}
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_VALUE_SERDE_H_

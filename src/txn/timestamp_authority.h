@@ -1,0 +1,105 @@
+#ifndef HARBOR_TXN_TIMESTAMP_AUTHORITY_H_
+#define HARBOR_TXN_TIMESTAMP_AUTHORITY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/types.h"
+
+namespace harbor {
+
+/// \brief The cluster's source of commit timestamps (§4.1).
+///
+/// Timestamps are logical epochs; the authority advances the epoch either on
+/// a background ticker (modelling the paper's "coarse granularity epochs
+/// that span multiple seconds") or explicitly from tests.
+///
+/// Beyond handing out times, the authority tracks which epochs still have
+/// commits *in flight* (a coordinator reached the commit point but workers
+/// have not finished stamping tuples). StableTime() — the source of
+/// recovery's high water mark and of safe historical-query times — is the
+/// newest epoch that is (a) fully in the past and (b) free of in-flight
+/// commits, so a lock-free historical read can never observe a partially
+/// applied transaction. This mirrors C-Store's rule that read-only queries
+/// run "as of some time in the recent past, before which the system can
+/// guarantee that no uncommitted transactions remain" (§3.1).
+class TimestampAuthority {
+ public:
+  explicit TimestampAuthority(Timestamp start = 1) : now_(start) {}
+  ~TimestampAuthority() { StopTicker(); }
+
+  /// Current epoch.
+  Timestamp Now() const { return now_.load(std::memory_order_acquire); }
+
+  /// Advances the epoch by one.
+  void Advance() { now_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Reserves the current epoch as a commit time; the epoch cannot become
+  /// stable until the matching EndCommit.
+  Timestamp BeginCommit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp ts = Now();
+    inflight_[ts]++;
+    return ts;
+  }
+
+  void EndCommit(Timestamp ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(ts);
+    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+  }
+
+  /// Newest timestamp at which a historical query is safe: strictly before
+  /// the current epoch and before any in-flight commit.
+  Timestamp StableTime() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp stable = Now() - 1;
+    if (!inflight_.empty()) {
+      Timestamp oldest_inflight = inflight_.begin()->first;
+      if (oldest_inflight - 1 < stable) stable = oldest_inflight - 1;
+    }
+    return stable;
+  }
+
+  /// Starts a background thread advancing the epoch every `period_ms`.
+  void StartTicker(int64_t period_ms) {
+    StopTicker();
+    stop_ = false;
+    ticker_ = std::thread([this, period_ms] {
+      std::unique_lock<std::mutex> lock(ticker_mu_);
+      while (!stop_) {
+        if (ticker_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                                [this] { return stop_; })) {
+          break;
+        }
+        Advance();
+      }
+    });
+  }
+
+  void StopTicker() {
+    {
+      std::lock_guard<std::mutex> lock(ticker_mu_);
+      stop_ = true;
+    }
+    ticker_cv_.notify_all();
+    if (ticker_.joinable()) ticker_.join();
+  }
+
+ private:
+  std::atomic<Timestamp> now_;
+  mutable std::mutex mu_;
+  std::map<Timestamp, int> inflight_;  // ordered: begin() = oldest
+
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool stop_ = false;
+  std::thread ticker_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_TXN_TIMESTAMP_AUTHORITY_H_

@@ -1,0 +1,127 @@
+#ifndef HARBOR_TXN_TRANSACTION_H_
+#define HARBOR_TXN_TRANSACTION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace harbor {
+
+/// Worker-side transaction phases; the optimized 3PC state machine of
+/// Figure 4-5 (2PC simply never enters kPreparedToCommit).
+enum class TxnPhase : uint8_t {
+  kPending = 0,
+  kPrepared = 1,
+  kPreparedToCommit = 2,
+  kCommitted = 3,
+  kAborted = 4,
+};
+
+const char* TxnPhaseToString(TxnPhase phase);
+
+/// A tuple inserted by an in-flight transaction (the in-memory "insertion
+/// list", §4.1): where it lives and which segment must have its timestamps
+/// maintained at commit.
+struct InsertionEntry {
+  ObjectId object_id;
+  RecordId rid;
+  TupleId tuple_id;
+  size_t segment_idx;
+};
+
+/// A tuple logically deleted by an in-flight transaction (the "deletion
+/// list"). The page is not modified until commit stamps the deletion
+/// timestamp.
+struct DeletionEntry {
+  ObjectId object_id;
+  RecordId rid;
+  size_t segment_idx;
+};
+
+/// \brief Volatile per-transaction state at one worker site (§4.1, §6.1.4).
+///
+/// This is everything a HARBOR worker needs for commit and abort — no undo/
+/// redo log: commit stamps the listed tuples, abort removes the listed
+/// inserts. The state is lost on a crash, which is fine: recovery restores
+/// committed data from replicas and uncommitted on-disk tuples are identified
+/// by the uncommitted timestamp sentinel.
+struct TxnState {
+  explicit TxnState(TxnId id) : id(id) {}
+
+  const TxnId id;
+  TxnPhase phase = TxnPhase::kPending;
+
+  std::vector<InsertionEntry> insertions;
+  std::vector<DeletionEntry> deletions;
+
+  /// Commit time received with PREPARE-TO-COMMIT (3PC) so a backup
+  /// coordinator can replay the final phases with the same time (§4.3.3).
+  Timestamp pending_commit_ts = 0;
+
+  /// Participant list from the 3PC PREPARE message, for consensus building
+  /// after a coordinator failure.
+  std::vector<SiteId> participants;
+  SiteId coordinator = kInvalidSiteId;
+
+  /// Vote this worker cast in phase 1 (meaningful once phase >= kPrepared).
+  bool voted_yes = false;
+
+  /// ARIES backchain head (kInvalidLsn when logging is off).
+  Lsn last_lsn = kInvalidLsn;
+
+  /// Serializes protocol messages racing against a backup coordinator probe.
+  std::mutex mu;
+};
+
+/// \brief Registry of in-flight transactions at a site. Entries are
+/// shared_ptrs so a consensus probe holding a reference never races the
+/// commit path erasing the entry (§4.3.3).
+class TxnTable {
+ public:
+  std::shared_ptr<TxnState> Create(TxnId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = txns_.try_emplace(id, nullptr);
+    if (inserted) it->second = std::make_shared<TxnState>(id);
+    return it->second;
+  }
+
+  Result<std::shared_ptr<TxnState>> Get(TxnId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = txns_.find(id);
+    if (it == txns_.end()) {
+      return Status::NotFound("unknown transaction " + std::to_string(id));
+    }
+    return it->second;
+  }
+
+  void Erase(TxnId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    txns_.erase(id);
+  }
+
+  std::vector<TxnId> ActiveIds() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TxnId> out;
+    out.reserve(txns_.size());
+    for (const auto& [id, state] : txns_) out.push_back(id);
+    return out;
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return txns_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<TxnId, std::shared_ptr<TxnState>> txns_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_TXN_TRANSACTION_H_

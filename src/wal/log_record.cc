@@ -1,0 +1,160 @@
+#include "wal/log_record.h"
+
+namespace harbor {
+
+const char* LogRecordTypeToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kTxnBegin: return "BEGIN";
+    case LogRecordType::kTupleInsert: return "INSERT";
+    case LogRecordType::kTupleStamp: return "STAMP";
+    case LogRecordType::kClr: return "CLR";
+    case LogRecordType::kTxnPrepare: return "PREPARE";
+    case LogRecordType::kTxnCommit: return "COMMIT";
+    case LogRecordType::kTxnAbort: return "ABORT";
+    case LogRecordType::kTxnEnd: return "END";
+    case LogRecordType::kCheckpointBegin: return "CKPT_BEGIN";
+    case LogRecordType::kCheckpointEnd: return "CKPT_END";
+    case LogRecordType::kDeleteIntent: return "DELETE_INTENT";
+    case LogRecordType::kTxnPrepareToCommit: return "PREPARE_TO_COMMIT";
+  }
+  return "UNKNOWN";
+}
+
+void LogRecord::Serialize(ByteBufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(type));
+  out->WriteU64(txn);
+  out->WriteU64(prev_lsn);
+  switch (type) {
+    case LogRecordType::kTupleInsert:
+      out->WriteU32(object_id);
+      out->WriteU32(rid.page.file_id);
+      out->WriteU32(rid.page.page_no);
+      out->WriteU16(rid.slot);
+      out->WriteU32(static_cast<uint32_t>(tuple_image.size()));
+      out->WriteRaw(tuple_image.data(), tuple_image.size());
+      break;
+    case LogRecordType::kDeleteIntent:
+    case LogRecordType::kTupleStamp:
+      out->WriteU32(object_id);
+      out->WriteU32(rid.page.file_id);
+      out->WriteU32(rid.page.page_no);
+      out->WriteU16(rid.slot);
+      out->WriteU8(static_cast<uint8_t>(stamp_field));
+      out->WriteU64(before_ts);
+      out->WriteU64(after_ts);
+      break;
+    case LogRecordType::kClr:
+      out->WriteU32(object_id);
+      out->WriteU32(rid.page.file_id);
+      out->WriteU32(rid.page.page_no);
+      out->WriteU16(rid.slot);
+      out->WriteU64(undo_next_lsn);
+      out->WriteU8(clr_action);
+      out->WriteU8(static_cast<uint8_t>(stamp_field));
+      out->WriteU64(before_ts);
+      break;
+    case LogRecordType::kTxnCommit:
+      out->WriteU64(commit_ts);
+      break;
+    case LogRecordType::kCheckpointEnd:
+      out->WriteU32(static_cast<uint32_t>(txn_table.size()));
+      for (const TxnEntry& t : txn_table) {
+        out->WriteU64(t.txn);
+        out->WriteU64(t.last_lsn);
+        out->WriteU8(static_cast<uint8_t>(t.state));
+      }
+      out->WriteU32(static_cast<uint32_t>(dirty_pages.size()));
+      for (const DirtyPageEntry& d : dirty_pages) {
+        out->WriteU32(d.page.file_id);
+        out->WriteU32(d.page.page_no);
+        out->WriteU64(d.rec_lsn);
+      }
+      break;
+    default:
+      break;  // header-only records
+  }
+}
+
+Result<LogRecord> LogRecord::Deserialize(ByteBufferReader* in) {
+  LogRecord r;
+  HARBOR_ASSIGN_OR_RETURN(uint8_t type, in->ReadU8());
+  r.type = static_cast<LogRecordType>(type);
+  HARBOR_ASSIGN_OR_RETURN(r.txn, in->ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.prev_lsn, in->ReadU64());
+  switch (r.type) {
+    case LogRecordType::kTupleInsert: {
+      HARBOR_ASSIGN_OR_RETURN(r.object_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.file_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.page_no, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.slot, in->ReadU16());
+      HARBOR_ASSIGN_OR_RETURN(uint32_t n, in->ReadU32());
+      r.tuple_image.resize(n);
+      HARBOR_RETURN_NOT_OK(in->ReadRaw(r.tuple_image.data(), n));
+      break;
+    }
+    case LogRecordType::kDeleteIntent:
+    case LogRecordType::kTupleStamp: {
+      HARBOR_ASSIGN_OR_RETURN(r.object_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.file_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.page_no, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.slot, in->ReadU16());
+      HARBOR_ASSIGN_OR_RETURN(uint8_t f, in->ReadU8());
+      r.stamp_field = static_cast<StampField>(f);
+      HARBOR_ASSIGN_OR_RETURN(r.before_ts, in->ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(r.after_ts, in->ReadU64());
+      break;
+    }
+    case LogRecordType::kClr: {
+      HARBOR_ASSIGN_OR_RETURN(r.object_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.file_id, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.page.page_no, in->ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(r.rid.slot, in->ReadU16());
+      HARBOR_ASSIGN_OR_RETURN(r.undo_next_lsn, in->ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(r.clr_action, in->ReadU8());
+      HARBOR_ASSIGN_OR_RETURN(uint8_t f, in->ReadU8());
+      r.stamp_field = static_cast<StampField>(f);
+      HARBOR_ASSIGN_OR_RETURN(r.before_ts, in->ReadU64());
+      break;
+    }
+    case LogRecordType::kTxnCommit: {
+      HARBOR_ASSIGN_OR_RETURN(r.commit_ts, in->ReadU64());
+      break;
+    }
+    case LogRecordType::kCheckpointEnd: {
+      HARBOR_ASSIGN_OR_RETURN(uint32_t nt, in->ReadU32());
+      r.txn_table.resize(nt);
+      for (uint32_t i = 0; i < nt; ++i) {
+        HARBOR_ASSIGN_OR_RETURN(r.txn_table[i].txn, in->ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(r.txn_table[i].last_lsn, in->ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(uint8_t s, in->ReadU8());
+        r.txn_table[i].state = static_cast<TxnLogState>(s);
+      }
+      HARBOR_ASSIGN_OR_RETURN(uint32_t nd, in->ReadU32());
+      r.dirty_pages.resize(nd);
+      for (uint32_t i = 0; i < nd; ++i) {
+        HARBOR_ASSIGN_OR_RETURN(r.dirty_pages[i].page.file_id, in->ReadU32());
+        HARBOR_ASSIGN_OR_RETURN(r.dirty_pages[i].page.page_no, in->ReadU32());
+        HARBOR_ASSIGN_OR_RETURN(r.dirty_pages[i].rec_lsn, in->ReadU64());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return r;
+}
+
+std::string LogRecord::ToString() const {
+  std::string s = LogRecordTypeToString(type);
+  s += " txn=" + std::to_string(txn);
+  s += " lsn=" + std::to_string(lsn);
+  s += " prev=" + std::to_string(prev_lsn);
+  if (type == LogRecordType::kTupleInsert ||
+      type == LogRecordType::kTupleStamp || type == LogRecordType::kClr ||
+      type == LogRecordType::kDeleteIntent) {
+    s += " obj=" + std::to_string(object_id) + " rid=" + rid.ToString();
+  }
+  return s;
+}
+
+}  // namespace harbor

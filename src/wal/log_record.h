@@ -1,0 +1,108 @@
+#ifndef HARBOR_WAL_LOG_RECORD_H_
+#define HARBOR_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace harbor {
+
+/// Log record types for the ARIES baseline (§6.1.7). HARBOR mode writes no
+/// log at all; these exist so the paper's comparison system is implemented
+/// faithfully.
+enum class LogRecordType : uint8_t {
+  kTxnBegin = 1,
+  /// A tuple inserted (with the uncommitted sentinel timestamp). Redo
+  /// re-inserts the after-image at the recorded slot; undo frees the slot.
+  kTupleInsert = 2,
+  /// An 8-byte in-place timestamp update (commit-time stamping of insertion
+  /// or deletion timestamps, §6.1.7: "ARIES requires writing additional log
+  /// records for the timestamp updates"). Carries before/after images.
+  kTupleStamp = 3,
+  /// Compensation log record written during undo (redo-only).
+  kClr = 4,
+  kTxnPrepare = 5,
+  kTxnCommit = 6,
+  kTxnAbort = 7,
+  kTxnEnd = 8,
+  kCheckpointBegin = 9,
+  kCheckpointEnd = 10,
+  /// Logical record of a pending deletion (the page is untouched until the
+  /// deletion timestamp is stamped at commit, §4.1). Lets ARIES restart
+  /// rebuild the in-memory deletion list of an in-doubt transaction so the
+  /// stamping work can still be applied if the coordinator says COMMIT.
+  kDeleteIntent = 11,
+  /// Canonical 3PC's extra forced record between PREPARE and COMMIT
+  /// (header-only).
+  kTxnPrepareToCommit = 12,
+};
+
+const char* LogRecordTypeToString(LogRecordType type);
+
+/// Which timestamp field a kTupleStamp record updates.
+enum class StampField : uint8_t { kInsertion = 0, kDeletion = 1 };
+
+/// Transaction status captured in checkpoint-end records.
+enum class TxnLogState : uint8_t {
+  kActive = 0,
+  kPrepared = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+/// \brief One write-ahead log record (self-describing union of all types).
+struct LogRecord {
+  LogRecordType type = LogRecordType::kTxnBegin;
+  TxnId txn = kInvalidTxnId;
+  /// Backward chain to this transaction's previous record.
+  Lsn prev_lsn = kInvalidLsn;
+  /// Assigned by the log manager; not serialized (implied by file offset).
+  Lsn lsn = kInvalidLsn;
+
+  // kTupleInsert / kTupleStamp / kClr target:
+  ObjectId object_id = 0;
+  RecordId rid;
+
+  // kTupleInsert: packed after-image. kClr undoing an insert: empty.
+  std::vector<uint8_t> tuple_image;
+
+  // kTupleStamp:
+  StampField stamp_field = StampField::kInsertion;
+  Timestamp before_ts = 0;
+  Timestamp after_ts = 0;
+
+  // kClr:
+  Lsn undo_next_lsn = kInvalidLsn;
+  /// What the CLR's redo does: 1 = free slot (undo of insert), 2 = write
+  /// before_ts into stamp_field (undo of stamp).
+  uint8_t clr_action = 0;
+
+  // kTxnCommit:
+  Timestamp commit_ts = 0;
+
+  // kCheckpointEnd: active transaction table and dirty page table.
+  struct TxnEntry {
+    TxnId txn;
+    Lsn last_lsn;
+    TxnLogState state;
+  };
+  struct DirtyPageEntry {
+    PageId page;
+    Lsn rec_lsn;
+  };
+  std::vector<TxnEntry> txn_table;
+  std::vector<DirtyPageEntry> dirty_pages;
+
+  void Serialize(ByteBufferWriter* out) const;
+  static Result<LogRecord> Deserialize(ByteBufferReader* in);
+
+  std::string ToString() const;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_WAL_LOG_RECORD_H_

@@ -1,0 +1,183 @@
+// Unit tests for the common layer: Status/Result, byte buffers, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing widget");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing widget");
+  EXPECT_EQ(st.ToString(), "NotFound: missing widget");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::Aborted("x");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsAborted());
+  EXPECT_TRUE(st.IsAborted());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsAborted());
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status Fails() { return Status::IoError("disk on fire"); }
+Status Propagates() {
+  HARBOR_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsIoError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::TimedOut("deadlock");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimedOut());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Result<int> Quarter(int x) {
+  HARBOR_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  ASSERT_OK_AND_ASSIGN(int q, Quarter(8));
+  EXPECT_EQ(q, 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ByteBufferTest, RoundTripsPrimitives) {
+  ByteBufferWriter w;
+  w.WriteU8(200);
+  w.WriteU16(65535);
+  w.WriteU32(1u << 31);
+  w.WriteU64(UINT64_MAX);
+  w.WriteI32(-12345);
+  w.WriteI64(-999999999999);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteString("hello");
+
+  ByteBufferReader r(w.data());
+  EXPECT_EQ(r.ReadU8().value(), 200);
+  EXPECT_EQ(r.ReadU16().value(), 65535);
+  EXPECT_EQ(r.ReadU32().value(), 1u << 31);
+  EXPECT_EQ(r.ReadU64().value(), UINT64_MAX);
+  EXPECT_EQ(r.ReadI32().value(), -12345);
+  EXPECT_EQ(r.ReadI64().value(), -999999999999);
+  EXPECT_EQ(r.ReadDouble().value(), 3.25);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, TruncatedReadsAreCorruption) {
+  ByteBufferWriter w;
+  w.WriteU32(7);
+  ByteBufferReader r(w.data());
+  EXPECT_TRUE(r.ReadU64().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, TruncatedStringIsCorruption) {
+  ByteBufferWriter w;
+  w.WriteU32(1000);  // claims a 1000-byte string with no body
+  ByteBufferReader r(w.data());
+  EXPECT_TRUE(r.ReadString().status().IsCorruption());
+}
+
+// Property-style sweep: random sequences of writes always read back.
+class ByteBufferPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ByteBufferPropertyTest, RandomRoundTrip) {
+  Random rng(GetParam());
+  ByteBufferWriter w;
+  std::vector<std::pair<int, uint64_t>> script;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 200; ++i) {
+    int kind = static_cast<int>(rng.Uniform(3));
+    uint64_t v = rng.Uniform(UINT32_MAX);
+    script.emplace_back(kind, v);
+    switch (kind) {
+      case 0: w.WriteU64(v); break;
+      case 1: w.WriteI32(static_cast<int32_t>(v)); break;
+      case 2: {
+        std::string s(v % 40, 'a' + static_cast<char>(v % 26));
+        strings.push_back(s);
+        w.WriteString(s);
+        break;
+      }
+    }
+  }
+  ByteBufferReader r(w.data());
+  size_t str_idx = 0;
+  for (const auto& [kind, v] : script) {
+    switch (kind) {
+      case 0: EXPECT_EQ(r.ReadU64().value(), v); break;
+      case 1: EXPECT_EQ(r.ReadI32().value(), static_cast<int32_t>(v)); break;
+      case 2: EXPECT_EQ(r.ReadString().value(), strings[str_idx++]); break;
+    }
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteBufferPropertyTest,
+                         ::testing::Values(1, 7, 13, 99, 12345));
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, SeedsAreDeterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+}
+
+}  // namespace
+}  // namespace harbor

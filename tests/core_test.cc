@@ -1,0 +1,248 @@
+// Unit tests for core building blocks: protocol message serialization, the
+// global catalog's recovery-cover planning, update requests, checkpoint
+// records, and the liveness directory.
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint_file.h"
+#include "core/global_catalog.h"
+#include "core/liveness.h"
+#include "core/messages.h"
+#include "core/protocol.h"
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+using test::MakeTempDir;
+using test::SmallSchema;
+
+// ----------------------------------------------------------- protocol.h
+
+TEST(ProtocolTest, LoggingMatrixMatchesTable42) {
+  EXPECT_TRUE(WorkerLogs(CommitProtocol::kTraditional2PC));
+  EXPECT_FALSE(WorkerLogs(CommitProtocol::kOptimized2PC));
+  EXPECT_TRUE(WorkerLogs(CommitProtocol::kCanonical3PC));
+  EXPECT_FALSE(WorkerLogs(CommitProtocol::kOptimized3PC));
+  EXPECT_TRUE(CoordinatorLogs(CommitProtocol::kTraditional2PC));
+  EXPECT_TRUE(CoordinatorLogs(CommitProtocol::kOptimized2PC));
+  EXPECT_FALSE(CoordinatorLogs(CommitProtocol::kCanonical3PC));
+  EXPECT_FALSE(CoordinatorLogs(CommitProtocol::kOptimized3PC));
+  EXPECT_FALSE(IsThreePhase(CommitProtocol::kTraditional2PC));
+  EXPECT_TRUE(IsThreePhase(CommitProtocol::kCanonical3PC));
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(MessagesTest, ExecUpdateRoundTrip) {
+  ExecUpdateMsg m;
+  m.txn = 77;
+  m.coordinator = 0;
+  m.request.kind = UpdateRequest::Kind::kInsert;
+  m.request.table_id = 3;
+  m.request.values = test::SmallRow(1, 2, "x");
+  m.request.tuple_id = 99;
+  m.request.cpu_work_cycles = 1234;
+  ASSERT_OK_AND_ASSIGN(ExecUpdateMsg back, ExecUpdateMsg::Decode(m.Encode()));
+  EXPECT_EQ(back.txn, 77u);
+  EXPECT_EQ(back.request.tuple_id, 99u);
+  EXPECT_EQ(back.request.values.size(), 3u);
+  EXPECT_EQ(back.request.cpu_work_cycles, 1234);
+}
+
+TEST(MessagesTest, UpdateRequestVariantsRoundTrip) {
+  UpdateRequest del;
+  del.kind = UpdateRequest::Kind::kDelete;
+  del.table_id = 1;
+  del.predicate.And("id", CompareOp::kLt, Value(int64_t{5}));
+  ByteBufferWriter w;
+  del.Serialize(&w);
+  ByteBufferReader r(w.data());
+  ASSERT_OK_AND_ASSIGN(UpdateRequest back, UpdateRequest::Deserialize(&r));
+  EXPECT_EQ(back.kind, UpdateRequest::Kind::kDelete);
+  EXPECT_EQ(back.predicate.ToString(), del.predicate.ToString());
+
+  UpdateRequest upd;
+  upd.kind = UpdateRequest::Kind::kUpdate;
+  upd.table_id = 2;
+  upd.sets.push_back(SetClause{"qty", Value(int64_t{9})});
+  ByteBufferWriter w2;
+  upd.Serialize(&w2);
+  ByteBufferReader r2(w2.data());
+  ASSERT_OK_AND_ASSIGN(back, UpdateRequest::Deserialize(&r2));
+  ASSERT_EQ(back.sets.size(), 1u);
+  EXPECT_EQ(back.sets[0].column, "qty");
+}
+
+TEST(MessagesTest, ScanReplyBothModes) {
+  ScanReplyMsg full;
+  full.schema = SmallSchema();
+  Tuple t(test::SmallRow(1, 2, "x"));
+  t.set_tuple_id(9);
+  t.set_insertion_ts(3);
+  full.tuples.push_back(t);
+  ASSERT_OK_AND_ASSIGN(ScanReplyMsg back, ScanReplyMsg::Decode(full.Encode()));
+  ASSERT_EQ(back.tuples.size(), 1u);
+  EXPECT_EQ(back.tuples[0], t);
+
+  ScanReplyMsg minimal;
+  minimal.minimal = true;
+  minimal.id_deletions = {IdDeletion{4, 7, 2}, IdDeletion{5, 0, 3}};
+  ASSERT_OK_AND_ASSIGN(back, ScanReplyMsg::Decode(minimal.Encode()));
+  ASSERT_EQ(back.id_deletions.size(), 2u);
+  EXPECT_EQ(back.id_deletions[0], (IdDeletion{4, 7, 2}));
+}
+
+TEST(MessagesTest, ComingOnlineRoundTrip) {
+  ComingOnlineMsg m;
+  m.site = 3;
+  m.objects.emplace_back(1, PartitionRange::Full());
+  m.objects.emplace_back(2, PartitionRange::On("id", 0, 10));
+  ASSERT_OK_AND_ASSIGN(ComingOnlineMsg back,
+                       ComingOnlineMsg::Decode(m.Encode()));
+  EXPECT_EQ(back.site, 3u);
+  ASSERT_EQ(back.objects.size(), 2u);
+  EXPECT_EQ(back.objects[1].second, PartitionRange::On("id", 0, 10));
+}
+
+// -------------------------------------------------------- global catalog
+
+class GlobalCatalogTest : public ::testing::Test {
+ protected:
+  GlobalCatalogTest() {
+    auto table = catalog_.AddTable("emp", SmallSchema());
+    HARBOR_CHECK_OK(table.status());
+    table_ = *table;
+  }
+
+  std::function<bool(SiteId)> AllAlive() {
+    return [](SiteId) { return true; };
+  }
+  std::function<bool(SiteId)> Except(SiteId dead) {
+    return [dead](SiteId s) { return s != dead; };
+  }
+
+  GlobalCatalog catalog_;
+  TableId table_;
+};
+
+TEST_F(GlobalCatalogTest, DuplicateTableNameRejected) {
+  EXPECT_TRUE(catalog_.AddTable("emp", SmallSchema()).status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(GlobalCatalogTest, ReplicaSchemaMustMatchLogically) {
+  EXPECT_TRUE(catalog_
+                  .AddReplica(table_, 1, PartitionRange::Full(),
+                              Schema({Column::Int64("other")}), 8)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_OK(catalog_
+                .AddReplica(table_, 1, PartitionRange::Full(),
+                            SmallSchema().Reordered({2, 1, 0}), 8)
+                .status());
+}
+
+TEST_F(GlobalCatalogTest, PlanCoverPrefersFullReplica) {
+  ASSERT_OK(catalog_.AddReplica(table_, 1, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(table_, 2, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, catalog_.PlanCover(table_, PartitionRange::Full(), 1,
+                                    AllAlive()));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].site, 2u);  // the recovering site is excluded
+}
+
+TEST_F(GlobalCatalogTest, PlanCoverAssemblesPartitions) {
+  // The §5.1 example: EMP1 (full) on site 1, EMP2A/EMP2B halves on 2 and 3.
+  ASSERT_OK(catalog_.AddReplica(table_, 1, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(table_, 2, PartitionRange::On("id", 0, 1000),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(table_, 3,
+                                PartitionRange::On("id", 1000, 2000),
+                                SmallSchema(), 8).status());
+  // Recovering the partition "salary < 5000" analogue: a sub-range.
+  ASSERT_OK_AND_ASSIGN(
+      auto plan,
+      catalog_.PlanCover(table_, PartitionRange::On("id", 500, 1500), 1,
+                         Except(1)));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].site, 2u);
+  EXPECT_EQ(plan[0].predicate, PartitionRange::On("id", 500, 1000));
+  EXPECT_EQ(plan[1].site, 3u);
+  EXPECT_EQ(plan[1].predicate, PartitionRange::On("id", 1000, 1500));
+}
+
+TEST_F(GlobalCatalogTest, PlanCoverDetectsKSafetyExceeded) {
+  ASSERT_OK(catalog_.AddReplica(table_, 1, PartitionRange::On("id", 0, 100),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(table_, 2, PartitionRange::On("id", 100, 200),
+                                SmallSchema(), 8).status());
+  // With site 2 dead, [100, 200) is uncoverable.
+  auto plan = catalog_.PlanCover(table_, PartitionRange::On("id", 0, 200), 3,
+                                 Except(2));
+  EXPECT_TRUE(plan.status().IsUnavailable());
+}
+
+TEST_F(GlobalCatalogTest, PlanCoverPicksDistinctBuddiesPerObject) {
+  ASSERT_OK(catalog_.AddReplica(table_, 1, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(table_, 2, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  auto t2 = catalog_.AddTable("emp2", SmallSchema());
+  ASSERT_OK(t2.status());
+  ASSERT_OK(catalog_.AddReplica(*t2, 1, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  ASSERT_OK(catalog_.AddReplica(*t2, 2, PartitionRange::Full(),
+                                SmallSchema(), 8).status());
+  // Site 3 recovering both tables: the two plans should use different
+  // buddies so parallel recovery overlaps transfers.
+  ASSERT_OK_AND_ASSIGN(auto plan1, catalog_.PlanCover(
+                                       table_, PartitionRange::Full(), 3,
+                                       AllAlive()));
+  ASSERT_OK_AND_ASSIGN(auto plan2, catalog_.PlanCover(
+                                       *t2, PartitionRange::Full(), 3,
+                                       AllAlive()));
+  EXPECT_NE(plan1[0].site, plan2[0].site);
+}
+
+// ------------------------------------------------------ checkpoint file
+
+TEST(CheckpointFileTest, MissingFileReadsAsZero) {
+  std::string dir = MakeTempDir("ckpt");
+  ASSERT_OK_AND_ASSIGN(CheckpointRecord rec, ReadCheckpointRecord(dir));
+  EXPECT_EQ(rec.global_time, 0u);
+  EXPECT_EQ(rec.TimeFor(5), 0u);
+}
+
+TEST(CheckpointFileTest, RoundTripWithPerObjectOverrides) {
+  std::string dir = MakeTempDir("ckpt2");
+  CheckpointRecord rec;
+  rec.global_time = 10;
+  rec.per_object[3] = 25;
+  ASSERT_OK(WriteCheckpointRecord(dir, rec));
+  ASSERT_OK_AND_ASSIGN(CheckpointRecord back, ReadCheckpointRecord(dir));
+  EXPECT_EQ(back.global_time, 10u);
+  EXPECT_EQ(back.TimeFor(3), 25u);  // per-object override
+  EXPECT_EQ(back.TimeFor(4), 10u);  // falls back to global
+}
+
+// ------------------------------------------------------------- liveness
+
+TEST(LivenessTest, StateTransitions) {
+  LivenessDirectory dir;
+  EXPECT_EQ(dir.Get(1), SiteState::kDown);  // unknown = down
+  dir.Set(1, SiteState::kOnline);
+  dir.Set(2, SiteState::kRecovering);
+  EXPECT_TRUE(dir.IsOnline(1));
+  EXPECT_FALSE(dir.IsOnline(2));  // recovering sites get no new updates
+  EXPECT_EQ(dir.OnlineSites().size(), 1u);
+  dir.Set(2, SiteState::kOnline);
+  EXPECT_EQ(dir.OnlineSites().size(), 2u);
+}
+
+}  // namespace
+}  // namespace harbor

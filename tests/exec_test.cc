@@ -1,0 +1,373 @@
+// Unit tests for the executor: scan modes and segment pruning, predicates,
+// relational operators (filter/project/join/aggregate), and the DML
+// executors.
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_pool.h"
+#include "exec/dml.h"
+#include "exec/operators.h"
+#include "exec/predicate.h"
+#include "exec/seq_scan.h"
+#include "tests/test_util.h"
+#include "txn/version_store.h"
+
+namespace harbor {
+namespace {
+
+using test::MakeTempDir;
+using test::SmallRow;
+using test::SmallSchema;
+
+// ------------------------------------------------------------- Predicate
+
+TEST(PredicateTest, CompareOps) {
+  Value a(int64_t{5}), b(int64_t{7});
+  EXPECT_TRUE(CompareValues(a, CompareOp::kLt, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kLe, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kNe, b));
+  EXPECT_FALSE(CompareValues(a, CompareOp::kEq, b));
+  EXPECT_FALSE(CompareValues(a, CompareOp::kGt, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kEq, Value(int64_t{5})));
+  EXPECT_TRUE(CompareValues(Value(std::string("abc")), CompareOp::kLt,
+                            Value(std::string("abd"))));
+  // Mixed numeric widths compare by value.
+  EXPECT_TRUE(CompareValues(Value(int32_t{3}), CompareOp::kLt,
+                            Value(int64_t{4})));
+}
+
+TEST(PredicateTest, ConjunctionBindsAndEvaluates) {
+  Predicate p;
+  p.And("id", CompareOp::kGe, Value(int64_t{10}))
+      .And("name", CompareOp::kEq, Value(std::string("x")));
+  Schema s = SmallSchema();
+  ASSERT_OK_AND_ASSIGN(auto bound, p.Bind(s));
+  Tuple yes(SmallRow(10, 0, "x"));
+  Tuple no1(SmallRow(9, 0, "x"));
+  Tuple no2(SmallRow(10, 0, "y"));
+  EXPECT_TRUE(p.EvalBound(bound, yes));
+  EXPECT_FALSE(p.EvalBound(bound, no1));
+  EXPECT_FALSE(p.EvalBound(bound, no2));
+  EXPECT_TRUE(Predicate::True().EvalBound({}, yes));
+}
+
+TEST(PredicateTest, SerializationRoundTrip) {
+  Predicate p;
+  p.And("id", CompareOp::kLt, Value(int64_t{9}))
+      .And("name", CompareOp::kNe, Value(std::string("z")));
+  ByteBufferWriter w;
+  p.Serialize(&w);
+  ByteBufferReader r(w.data());
+  ASSERT_OK_AND_ASSIGN(Predicate back, Predicate::Deserialize(&r));
+  EXPECT_EQ(back.ToString(), p.ToString());
+}
+
+TEST(PredicateTest, MissingColumnFailsBind) {
+  Predicate p;
+  p.And("ghost", CompareOp::kEq, Value(int64_t{1}));
+  EXPECT_TRUE(p.Bind(SmallSchema()).status().IsNotFound());
+}
+
+// ---------------------------------------------------------- scan fixture
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest()
+      : fm_(MakeTempDir("exec"), nullptr),
+        catalog_(&fm_),
+        pool_(&fm_, 512),
+        locks_(std::chrono::milliseconds(200)),
+        store_(&catalog_, &pool_, &locks_, nullptr, &txns_) {
+    auto obj = catalog_.CreateObject(1, 1, "t", SmallSchema(),
+                                     PartitionRange::Full(), 2);
+    HARBOR_CHECK_OK(obj.status());
+    obj_ = *obj;
+  }
+
+  // Inserts a committed tuple with explicit timestamps.
+  void Load(TupleId tid, int64_t id, Timestamp ins,
+            Timestamp del = kNotDeleted, const std::string& name = "n") {
+    Tuple t(SmallRow(id, id * 2, name));
+    t.set_tuple_id(tid);
+    t.set_insertion_ts(ins);
+    t.set_deletion_ts(del);
+    HARBOR_CHECK_OK(store_.InsertCommittedTuple(obj_, t).status());
+  }
+
+  std::unique_ptr<SeqScanOperator> Scan(ScanSpec spec) {
+    spec.object_id = 1;
+    return std::make_unique<SeqScanOperator>(&store_, obj_, std::move(spec));
+  }
+
+  FileManager fm_;
+  LocalCatalog catalog_;
+  BufferPool pool_;
+  LockManager locks_;
+  TxnTable txns_;
+  VersionStore store_;
+  TableObject* obj_;
+};
+
+TEST_F(ExecTest, VisibleScanAppliesSnapshot) {
+  Load(1, 1, 2);
+  Load(2, 2, 5);
+  Load(3, 3, 2, /*del=*/4);
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 3;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+  // At time 3: tuple 1 (ins 2) and tuple 3 (deleted at 4, still visible).
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecTest, HistoricalSeeDeletedMasksFutureDeletions) {
+  Load(1, 1, 2, /*del=*/8);
+  Load(2, 2, 2, /*del=*/11);
+  Load(3, 3, 11);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeletedHistorical;
+  spec.as_of = 10;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+  // Insertion at 11 invisible; deletion at 11 appears undone (§5.3).
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Tuple& t : rows) {
+    if (t.tuple_id() == 1) EXPECT_EQ(t.deletion_ts(), 8u);
+    if (t.tuple_id() == 2) EXPECT_EQ(t.deletion_ts(), kNotDeleted);
+  }
+}
+
+TEST_F(ExecTest, TimestampRangePredicates) {
+  Load(1, 1, 2);
+  Load(2, 2, 5);
+  Load(3, 3, 8, /*del=*/9);
+  {
+    ScanSpec spec;
+    spec.mode = ScanMode::kSeeDeleted;
+    spec.has_insertion_after = true;
+    spec.insertion_after = 4;
+    auto scan = Scan(spec);
+    ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+    EXPECT_EQ(rows.size(), 2u);
+  }
+  {
+    ScanSpec spec;
+    spec.mode = ScanMode::kSeeDeleted;
+    spec.has_insertion_at_or_before = true;
+    spec.insertion_at_or_before = 5;
+    spec.has_deletion_after = true;
+    spec.deletion_after = 0;
+    auto scan = Scan(spec);
+    ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+    EXPECT_TRUE(rows.empty());  // only tuple 3 is deleted but ins 8 > 5
+  }
+}
+
+TEST_F(ExecTest, UncommittedSentinelMatchesInsertionAfter) {
+  auto txn = txns_.Create(50);
+  Tuple t(SmallRow(9, 9, "u"));
+  t.set_tuple_id(9);
+  ASSERT_OK(store_.InsertTuple(txn.get(), obj_, t).status());
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  spec.has_insertion_after = true;
+  spec.insertion_after = 1000;  // uncommitted sentinel > any timestamp
+  {
+    auto scan = Scan(spec);
+    ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+    EXPECT_EQ(rows.size(), 1u);
+  }
+  spec.exclude_uncommitted = true;  // §5.4.1's != uncommitted
+  {
+    auto scan = Scan(spec);
+    ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+    EXPECT_TRUE(rows.empty());
+  }
+}
+
+TEST_F(ExecTest, SegmentPruningSkipsIrrelevantSegments) {
+  // Fill three segments with increasing timestamps: segment budget is 2
+  // pages (~144 tuples).
+  for (int i = 0; i < 450; ++i) {
+    Load(static_cast<TupleId>(i), i, static_cast<Timestamp>(1 + i / 150));
+  }
+  ASSERT_GE(obj_->file->num_segments(), 3u);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  spec.has_insertion_after = true;
+  spec.insertion_after = 2;  // only the last batch (ts 3)
+  SeqScanOperator scan(&store_, obj_, spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(&scan));
+  EXPECT_EQ(rows.size(), 150u);
+  EXPECT_GT(scan.segments_pruned(), 0u);
+  EXPECT_LT(scan.segments_visited(), obj_->file->num_segments());
+}
+
+TEST_F(ExecTest, PartitionRangeFiltersRows) {
+  for (int i = 0; i < 20; ++i) Load(static_cast<TupleId>(i), i, 1);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  spec.range = PartitionRange::On("id", 5, 12);
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+  EXPECT_EQ(rows.size(), 7u);
+}
+
+TEST_F(ExecTest, RewindRestartsScan) {
+  for (int i = 0; i < 5; ++i) Load(static_cast<TupleId>(i), i, 1);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  SeqScanOperator scan(&store_, obj_, spec);
+  ASSERT_OK(scan.Open());
+  ASSERT_OK_AND_ASSIGN(auto first, scan.Next());
+  ASSERT_TRUE(first.has_value());
+  ASSERT_OK(scan.Rewind());
+  int count = 0;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(auto t, scan.Next());
+    if (!t.has_value()) break;
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+// ---------------------------------------------------- relational operators
+
+TEST_F(ExecTest, FilterAndProject) {
+  for (int i = 0; i < 10; ++i) Load(static_cast<TupleId>(i), i, 1);
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 1;
+  Predicate p;
+  p.And("id", CompareOp::kGe, Value(int64_t{6}));
+  auto plan = std::make_unique<ProjectOperator>(
+      std::make_unique<FilterOperator>(Scan(spec), p),
+      std::vector<std::string>{"qty", "id"});
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(plan.get()));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(plan->schema().column(0).name, "qty");
+  EXPECT_EQ(rows[0].num_values(), 2u);
+  EXPECT_EQ(rows[0].value(0).AsInt64(), rows[0].value(1).AsInt64() * 2);
+}
+
+TEST_F(ExecTest, NestedLoopsJoin) {
+  for (int i = 0; i < 4; ++i) Load(static_cast<TupleId>(i), i, 1);
+  std::vector<Tuple> dim;
+  Schema dim_schema({Column::Int64("key"), Column::Char("label", 8)});
+  for (int i = 0; i < 4; i += 2) {
+    dim.emplace_back(
+        std::vector<Value>{Value(int64_t{i}), Value("lbl" + std::to_string(i))});
+  }
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 1;
+  NestedLoopsJoinOperator join(
+      Scan(spec), std::make_unique<MaterializedOperator>(dim_schema, dim),
+      "id", "key");
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(&join));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(join.schema().num_columns(), 5u);
+  for (const Tuple& t : rows) {
+    EXPECT_EQ(t.value(0).AsInt64() % 2, 0);
+  }
+}
+
+TEST_F(ExecTest, AggregateGroupsAndFunctions) {
+  // ids 0..9, qty = 2*id; group by parity via name column.
+  for (int i = 0; i < 10; ++i) {
+    Tuple t(SmallRow(i, 0, i % 2 == 0 ? "even" : "odd"));
+    t.set_tuple_id(static_cast<TupleId>(i));
+    t.set_insertion_ts(1);
+    *t.mutable_value(1) = Value(int64_t{i * 2});
+    HARBOR_CHECK_OK(store_.InsertCommittedTuple(obj_, t).status());
+  }
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 1;
+  AggregateOperator agg(Scan(spec), {"name"},
+                        {AggSpec{AggFunc::kCount, ""},
+                         AggSpec{AggFunc::kSum, "qty"},
+                         AggSpec{AggFunc::kMin, "id"},
+                         AggSpec{AggFunc::kMax, "id"},
+                         AggSpec{AggFunc::kAvg, "qty"}});
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(&agg));
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Tuple& t : rows) {
+    const bool even = t.value(0).AsString() == "even";
+    EXPECT_EQ(t.value(1).AsDouble(), 5.0);                    // count
+    EXPECT_EQ(t.value(2).AsDouble(), even ? 40.0 : 50.0);     // sum
+    EXPECT_EQ(t.value(3).AsDouble(), even ? 0.0 : 1.0);       // min
+    EXPECT_EQ(t.value(4).AsDouble(), even ? 8.0 : 9.0);       // max
+    EXPECT_EQ(t.value(5).AsDouble(), even ? 8.0 : 10.0);      // avg
+  }
+}
+
+// ------------------------------------------------------------------- DML
+
+TEST_F(ExecTest, ExecInsertRemapsColumnsByName) {
+  // Object with permuted physical schema.
+  auto obj2 = catalog_.CreateObject(2, 2, "perm",
+                                    SmallSchema().Reordered({2, 0, 1}),
+                                    PartitionRange::Full(), 2);
+  ASSERT_OK(obj2.status());
+  auto txn = txns_.Create(77);
+  ASSERT_OK(ExecInsert(&store_, txn.get(), *obj2, 5, SmallSchema(),
+                       SmallRow(1, 2, "abc"))
+                .status());
+  ASSERT_OK(store_.StampCommit(txn.get(), 2));
+  ScanSpec spec;
+  spec.object_id = 2;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 2;
+  SeqScanOperator scan(&store_, *obj2, spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(&scan));
+  ASSERT_EQ(rows.size(), 1u);
+  // Physical order: name, id, qty.
+  EXPECT_EQ(rows[0].value(0).AsString(), "abc");
+  EXPECT_EQ(rows[0].value(1).AsInt64(), 1);
+  EXPECT_EQ(rows[0].value(2).AsInt64(), 2);
+}
+
+TEST_F(ExecTest, ExecUpdatePreservesTupleId) {
+  Load(42, 7, 1);
+  auto txn = txns_.Create(88);
+  Predicate p;
+  p.And("id", CompareOp::kEq, Value(int64_t{7}));
+  ASSERT_OK_AND_ASSIGN(
+      int64_t n, ExecUpdate(&store_, txn.get(), obj_, p,
+                            {SetClause{"qty", Value(int64_t{1000})}}, 1));
+  EXPECT_EQ(n, 1);
+  ASSERT_OK(store_.StampCommit(txn.get(), 5));
+  locks_.ReleaseAll(txn->id);
+  // Both versions share tuple id 42.
+  EXPECT_EQ(obj_->index.Lookup(42).size(), 2u);
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 5;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].value(1).AsInt64(), 1000);
+  EXPECT_EQ(rows[0].tuple_id(), 42u);
+}
+
+TEST_F(ExecTest, ExecDeleteCountsMatches) {
+  for (int i = 0; i < 10; ++i) Load(static_cast<TupleId>(i), i, 1);
+  auto txn = txns_.Create(99);
+  Predicate p;
+  p.And("id", CompareOp::kLt, Value(int64_t{4}));
+  ASSERT_OK_AND_ASSIGN(int64_t n, ExecDelete(&store_, txn.get(), obj_, p, 1));
+  EXPECT_EQ(n, 4);
+  ASSERT_OK(store_.StampCommit(txn.get(), 3));
+  locks_.ReleaseAll(txn->id);
+  ScanSpec spec;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = 3;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+}  // namespace
+}  // namespace harbor

@@ -1,0 +1,135 @@
+// Unit tests for the in-process cluster transport: RPC round trips,
+// parallel fan-out, crash semantics, restart, and crash subscriptions.
+
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+Message Ping(uint16_t type, uint8_t byte) {
+  Message m;
+  m.type = type;
+  m.payload = {byte};
+  return m;
+}
+
+TEST(NetworkTest, CallRoundTrip) {
+  Network net(SimConfig::Zero());
+  ASSERT_OK(net.RegisterSite(1, [](SiteId from, const Message& m) {
+    Message reply = m;
+    reply.payload.push_back(static_cast<uint8_t>(from));
+    return Result<Message>(reply);
+  }, 2));
+  ASSERT_OK_AND_ASSIGN(Message reply, net.Call(0, 1, Ping(7, 42)));
+  EXPECT_EQ(reply.type, 7);
+  ASSERT_EQ(reply.payload.size(), 2u);
+  EXPECT_EQ(reply.payload[0], 42);
+  EXPECT_EQ(reply.payload[1], 0);  // handler saw the sender id
+}
+
+TEST(NetworkTest, HandlerErrorsPropagate) {
+  Network net(SimConfig::Zero());
+  ASSERT_OK(net.RegisterSite(1, [](SiteId, const Message&) {
+    return Result<Message>(Status::Aborted("no"));
+  }, 1));
+  EXPECT_TRUE(net.Call(0, 1, Ping(1, 1)).status().IsAborted());
+}
+
+TEST(NetworkTest, CallToUnknownOrDeadSiteIsUnavailable) {
+  Network net(SimConfig::Zero());
+  EXPECT_TRUE(net.Call(0, 9, Ping(1, 1)).status().IsUnavailable());
+  ASSERT_OK(net.RegisterSite(1, [](SiteId, const Message& m) {
+    return Result<Message>(m);
+  }, 1));
+  net.CrashSite(1);
+  EXPECT_FALSE(net.IsAlive(1));
+  EXPECT_TRUE(net.Call(0, 1, Ping(1, 1)).status().IsUnavailable());
+}
+
+TEST(NetworkTest, ParallelFanOutCompletes) {
+  Network net(SimConfig::Zero());
+  std::atomic<int> handled{0};
+  for (SiteId s = 1; s <= 4; ++s) {
+    ASSERT_OK(net.RegisterSite(s, [&](SiteId, const Message& m) {
+      handled++;
+      return Result<Message>(m);
+    }, 2));
+  }
+  std::vector<std::future<Result<Message>>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(net.CallAsync(0, static_cast<SiteId>(1 + i % 4),
+                                    Ping(1, static_cast<uint8_t>(i))));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(handled.load(), 40);
+}
+
+TEST(NetworkTest, CrashFailsQueuedCalls) {
+  Network net(SimConfig::Zero());
+  std::atomic<bool> release{false};
+  ASSERT_OK(net.RegisterSite(1, [&](SiteId, const Message& m) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Result<Message>(m);
+  }, 1));
+  // One in-flight call occupies the single server thread; more queue up.
+  auto f1 = net.CallAsync(0, 1, Ping(1, 1));
+  auto f2 = net.CallAsync(0, 1, Ping(1, 2));
+  auto f3 = net.CallAsync(0, 1, Ping(1, 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread crasher([&] {
+    release = true;  // let the in-flight handler drain
+    net.CrashSite(1);
+  });
+  // Queued calls fail with Unavailable (the closed-connection signal).
+  Result<Message> r2 = f2.get();
+  Result<Message> r3 = f3.get();
+  EXPECT_TRUE(r2.status().IsUnavailable() || r2.ok());
+  EXPECT_TRUE(r3.status().IsUnavailable() || r3.ok());
+  f1.get();
+  crasher.join();
+}
+
+TEST(NetworkTest, RestartAfterCrash) {
+  Network net(SimConfig::Zero());
+  auto echo = [](SiteId, const Message& m) { return Result<Message>(m); };
+  ASSERT_OK(net.RegisterSite(1, echo, 1));
+  // Double registration of a live site is refused.
+  EXPECT_TRUE(net.RegisterSite(1, echo, 1).IsAlreadyExists());
+  net.CrashSite(1);
+  ASSERT_OK(net.RegisterSite(1, echo, 1));
+  EXPECT_TRUE(net.Call(0, 1, Ping(1, 1)).ok());
+}
+
+TEST(NetworkTest, CrashSubscribersFire) {
+  Network net(SimConfig::Zero());
+  auto echo = [](SiteId, const Message& m) { return Result<Message>(m); };
+  ASSERT_OK(net.RegisterSite(1, echo, 1));
+  ASSERT_OK(net.RegisterSite(2, echo, 1));
+  std::vector<SiteId> crashed;
+  net.SubscribeCrash([&](SiteId s) { crashed.push_back(s); });
+  net.CrashSite(2);
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_EQ(crashed[0], 2u);
+}
+
+TEST(NetworkTest, MessageStatsAccumulate) {
+  Network net(SimConfig::Zero());
+  ASSERT_OK(net.RegisterSite(1, [](SiteId, const Message& m) {
+    return Result<Message>(m);
+  }, 1));
+  int64_t before = net.num_messages();
+  ASSERT_OK(net.Call(0, 1, Ping(1, 1)).status());
+  // One request + one reply.
+  EXPECT_EQ(net.num_messages() - before, 2);
+}
+
+}  // namespace
+}  // namespace harbor

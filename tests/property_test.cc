@@ -1,0 +1,276 @@
+// Property-based tests: randomized workloads checked against an in-memory
+// reference model, across replicas, across historical snapshots, and across
+// crash/recovery — the invariants HARBOR must preserve no matter the
+// interleaving.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "core/cluster.h"
+#include "exec/seq_scan.h"
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+using test::SmallSchema;
+
+// In-memory reference: key -> (qty, alive) per snapshot.
+struct ReferenceRow {
+  int64_t id;
+  int64_t qty;
+};
+using Snapshot = std::map<int64_t, ReferenceRow>;  // keyed by id
+
+struct ReferenceModel {
+  Snapshot current;
+  std::map<Timestamp, Snapshot> history;  // snapshot after each epoch
+
+  void Record(Timestamp stable) { history[stable] = current; }
+};
+
+// Visible rows of worker `w`'s replica of the (single) table at `as_of`,
+// remapped to logical order and keyed by id.
+Snapshot ReplicaSnapshot(Cluster* cluster, int w, Timestamp as_of) {
+  Worker* worker = cluster->worker(w);
+  TableObject* obj = worker->local_catalog()->objects()[0];
+  ScanSpec spec;
+  spec.object_id = obj->object_id;
+  spec.mode = ScanMode::kVisible;
+  spec.as_of = as_of;
+  SeqScanOperator scan(worker->store(), obj, spec);
+  auto rows = CollectAll(&scan);
+  HARBOR_CHECK_OK(rows.status());
+  auto mapping = SmallSchema().MappingFrom(obj->schema);
+  HARBOR_CHECK_OK(mapping.status());
+  Snapshot snap;
+  for (const Tuple& t : *rows) {
+    Tuple logical = t.RemapColumns(*mapping);
+    int64_t id = logical.value(0).AsInt64();
+    EXPECT_EQ(snap.count(id), 0u) << "duplicate visible id " << id;
+    snap[id] = ReferenceRow{id, logical.value(1).AsInt64()};
+  }
+  return snap;
+}
+
+void ExpectSnapshotsEqual(const Snapshot& expected, const Snapshot& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& [id, row] : expected) {
+    auto it = actual.find(id);
+    ASSERT_NE(it, actual.end()) << label << ": missing id " << id;
+    EXPECT_EQ(it->second.qty, row.qty) << label << ": id " << id;
+  }
+}
+
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWorkloadTest, ReplicasMatchReferenceAtEverySnapshot) {
+  Random rng(GetParam());
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 2;
+  // Second replica permuted: the property must hold across physically
+  // different layouts.
+  ReplicaSpec r0;
+  r0.worker_index = 0;
+  r0.segment_page_budget = 2;
+  ReplicaSpec r1;
+  r1.worker_index = 1;
+  r1.segment_page_budget = 5;
+  r1.column_order = {1, 2, 0};
+  spec.replicas = {r0, r1};
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+
+  Coordinator* coord = cluster->coordinator();
+  ReferenceModel model;
+  int64_t next_id = 0;
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const int ops = 1 + static_cast<int>(rng.Uniform(12));
+    for (int op = 0; op < ops; ++op) {
+      ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+      const int kind = static_cast<int>(rng.Uniform(4));
+      bool mutated = false;
+      if (kind <= 1 || model.current.empty()) {  // insert (50%)
+        int64_t id = next_id++;
+        int64_t qty = rng.UniformRange(0, 1000);
+        ASSERT_OK(coord->Insert(txn, table,
+                                {Value(id), Value(qty), Value("r")}));
+        ASSERT_OK(coord->Commit(txn));
+        model.current[id] = ReferenceRow{id, qty};
+        mutated = true;
+      } else {
+        // Pick an existing id.
+        auto it = model.current.begin();
+        std::advance(it, rng.Uniform(model.current.size()));
+        int64_t id = it->first;
+        Predicate p;
+        p.And("id", CompareOp::kEq, Value(id));
+        if (kind == 2) {  // delete
+          ASSERT_OK(coord->Delete(txn, table, p));
+          ASSERT_OK(coord->Commit(txn));
+          model.current.erase(id);
+        } else {  // update
+          int64_t qty = rng.UniformRange(0, 1000);
+          ASSERT_OK(coord->Update(txn, table, p,
+                                  {SetClause{"qty", Value(qty)}}));
+          ASSERT_OK(coord->Commit(txn));
+          model.current[id].qty = qty;
+        }
+        mutated = true;
+      }
+      (void)mutated;
+    }
+    // Occasionally abort a transaction: it must not perturb the model.
+    if (rng.OneIn(0.5)) {
+      ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+      ASSERT_OK(coord->Insert(txn, table,
+                              {Value(int64_t{888888}), Value(int64_t{1}),
+                               Value("ghost")}));
+      ASSERT_OK(coord->Abort(txn));
+    }
+    cluster->AdvanceEpoch();
+    model.Record(cluster->authority()->StableTime());
+  }
+
+  // Invariant 1: every replica equals the reference at every recorded
+  // historical snapshot (time travel correctness on both layouts).
+  for (const auto& [ts, snap] : model.history) {
+    for (int w = 0; w < 2; ++w) {
+      ExpectSnapshotsEqual(snap, ReplicaSnapshot(cluster.get(), w, ts),
+                           "worker " + std::to_string(w) + " @" +
+                               std::to_string(ts));
+    }
+  }
+}
+
+TEST_P(RandomWorkloadTest, RecoveryReproducesReferenceAfterRandomCrash) {
+  Random rng(GetParam() * 7919 + 13);
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 2;
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+  Coordinator* coord = cluster->coordinator();
+
+  Snapshot model;
+  int64_t next_id = 0;
+  const int crash_after = 5 + static_cast<int>(rng.Uniform(30));
+  const int total_ops = crash_after + 5 + static_cast<int>(rng.Uniform(30));
+  // A checkpoint lands at a random spot before the crash.
+  const int checkpoint_at = static_cast<int>(rng.Uniform(crash_after));
+
+  for (int op = 0; op < total_ops; ++op) {
+    if (op == checkpoint_at) {
+      cluster->AdvanceEpoch();
+      ASSERT_OK(cluster->CheckpointAll());
+    }
+    if (op == crash_after) {
+      cluster->AdvanceEpoch();
+      cluster->CrashWorker(1);
+    }
+    ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+    const int kind = static_cast<int>(rng.Uniform(4));
+    if (kind <= 1 || model.empty()) {
+      int64_t id = next_id++;
+      int64_t qty = rng.UniformRange(0, 100);
+      ASSERT_OK(coord->Insert(txn, table, {Value(id), Value(qty), Value("x")}));
+      ASSERT_OK(coord->Commit(txn));
+      model[id] = ReferenceRow{id, qty};
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      int64_t id = it->first;
+      Predicate p;
+      p.And("id", CompareOp::kEq, Value(id));
+      if (kind == 2) {
+        ASSERT_OK(coord->Delete(txn, table, p));
+        ASSERT_OK(coord->Commit(txn));
+        model.erase(id);
+      } else {
+        int64_t qty = rng.UniformRange(0, 100);
+        ASSERT_OK(coord->Update(txn, table, p, {SetClause{"qty", Value(qty)}}));
+        ASSERT_OK(coord->Commit(txn));
+        model[id].qty = qty;
+      }
+    }
+  }
+
+  ASSERT_OK(cluster->RecoverWorker(1).status());
+  cluster->AdvanceEpoch();
+  const Timestamp now = cluster->authority()->StableTime();
+  // Invariant: the recovered replica equals both the live replica and the
+  // reference model.
+  ExpectSnapshotsEqual(model, ReplicaSnapshot(cluster.get(), 0, now), "live");
+  ExpectSnapshotsEqual(model, ReplicaSnapshot(cluster.get(), 1, now),
+                       "recovered");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+TEST(PropertyTest, SegmentAnnotationsAlwaysCoverContents) {
+  // Invariant: for every segment, min_insertion <= every committed
+  // insertion ts <= max_insertion and every deletion ts <= max_deletion —
+  // the soundness condition for recovery pruning (§4.2).
+  Random rng(99);
+  ClusterOptions opt;
+  opt.num_workers = 1;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 1;  // many segments
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, {Value(int64_t{i}),
+                                       Value(int64_t{i}), Value("x")}));
+    if (rng.OneIn(0.2)) cluster->AdvanceEpoch();
+    if (i % 50 == 49) {
+      ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+      Predicate p;
+      p.And("id", CompareOp::kEq, Value(int64_t{rng.UniformRange(0, i)}));
+      ASSERT_OK(coord->Delete(txn, table, p));
+      ASSERT_OK(coord->Commit(txn));
+    }
+  }
+
+  Worker* w = cluster->worker(0);
+  TableObject* obj = w->local_catalog()->objects()[0];
+  ScanSpec all;
+  all.object_id = obj->object_id;
+  all.mode = ScanMode::kSeeDeleted;
+  SeqScanOperator scan(w->store(), obj, all);
+  ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(&scan));
+  for (const Tuple& t : rows) {
+    ASSERT_OK_AND_ASSIGN(size_t seg,
+                         obj->file->SegmentOfPage(t.record_id().page.page_no));
+    SegmentInfo info = obj->file->segment(seg);
+    if (t.insertion_ts() != kUncommittedTimestamp) {
+      EXPECT_GE(t.insertion_ts(), info.min_insertion);
+      EXPECT_LE(t.insertion_ts(), info.max_insertion);
+    }
+    if (t.deletion_ts() != kNotDeleted) {
+      EXPECT_LE(t.deletion_ts(), info.max_deletion);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harbor

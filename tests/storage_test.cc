@@ -1,0 +1,463 @@
+// Unit tests for the storage engine: schemas, tuples, slotted heap pages,
+// the file manager, segmented heap files, the tuple-id index, partitions,
+// and the local catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "storage/file_manager.h"
+#include "storage/heap_page.h"
+#include "storage/local_catalog.h"
+#include "storage/partition.h"
+#include "storage/schema.h"
+#include "storage/segmented_heap_file.h"
+#include "storage/tuple.h"
+#include "storage/tuple_index.h"
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+using test::MakeTempDir;
+using test::SmallSchema;
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, OffsetsAndSizes) {
+  Schema s = SmallSchema();  // id i64, qty i64, name char(16)
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.ColumnOffset(0), 0u);
+  EXPECT_EQ(s.ColumnOffset(1), 8u);
+  EXPECT_EQ(s.ColumnOffset(2), 16u);
+  EXPECT_EQ(s.payload_bytes(), 32u);
+  EXPECT_EQ(s.tuple_bytes(), 32u + kTupleSystemHeaderBytes);
+}
+
+TEST(SchemaTest, ColumnIndexByName) {
+  Schema s = SmallSchema();
+  EXPECT_EQ(s.ColumnIndex("qty").value(), 1u);
+  EXPECT_TRUE(s.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, ReorderingIsLogicallyEqual) {
+  Schema s = SmallSchema();
+  Schema r = s.Reordered({2, 0, 1});
+  EXPECT_TRUE(s.LogicallyEquals(r));
+  EXPECT_FALSE(s == r);
+  ASSERT_OK_AND_ASSIGN(std::vector<size_t> mapping, s.MappingFrom(r));
+  EXPECT_EQ(mapping, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema s = SmallSchema();
+  ByteBufferWriter w;
+  s.Serialize(&w);
+  ByteBufferReader r(w.data());
+  ASSERT_OK_AND_ASSIGN(Schema back, Schema::Deserialize(&r));
+  EXPECT_EQ(s, back);
+}
+
+TEST(SchemaTest, EvalSchemaMatchesPaperTupleSize) {
+  // §6.2: 16 4-byte fields including the two timestamps = 64 bytes, plus
+  // our explicit tuple-id field.
+  Schema s = test::EvalSchema();
+  EXPECT_EQ(s.payload_bytes(), 56u);
+  EXPECT_EQ(s.tuple_bytes(), 80u);
+}
+
+// ------------------------------------------------------------------- Tuple
+
+TEST(TupleTest, PackUnpackRoundTrip) {
+  Schema s = SmallSchema();
+  Tuple t(test::SmallRow(7, 42, "colgate"));
+  t.set_tuple_id(99);
+  t.set_insertion_ts(5);
+  t.set_deletion_ts(11);
+  std::vector<uint8_t> buf(s.tuple_bytes());
+  t.Pack(s, buf.data());
+  Tuple back = Tuple::Unpack(s, buf.data());
+  EXPECT_EQ(t, back);
+}
+
+TEST(TupleTest, CharTruncationAndPadding) {
+  Schema s({Column::Char("c", 4)});
+  Tuple t({Value(std::string("abcdefgh"))});
+  std::vector<uint8_t> buf(s.tuple_bytes());
+  t.Pack(s, buf.data());
+  Tuple back = Tuple::Unpack(s, buf.data());
+  EXPECT_EQ(back.value(0).AsString(), "abcd");
+
+  Tuple small({Value(std::string("x"))});
+  small.Pack(s, buf.data());
+  back = Tuple::Unpack(s, buf.data());
+  EXPECT_EQ(back.value(0).AsString(), "x");
+}
+
+TEST(TupleTest, VisibilitySemantics) {
+  Tuple t;
+  t.set_insertion_ts(5);
+  t.set_deletion_ts(kNotDeleted);
+  EXPECT_FALSE(t.VisibleAt(4));
+  EXPECT_TRUE(t.VisibleAt(5));
+  EXPECT_TRUE(t.VisibleAt(100));
+
+  t.set_deletion_ts(8);
+  EXPECT_TRUE(t.VisibleAt(7));   // deleted after 7
+  EXPECT_FALSE(t.VisibleAt(8));  // deleted at 8
+  EXPECT_FALSE(t.VisibleAt(9));
+
+  Tuple uncommitted;
+  uncommitted.set_insertion_ts(kUncommittedTimestamp);
+  EXPECT_FALSE(uncommitted.VisibleAt(UINT64_MAX - 1));
+}
+
+TEST(TupleTest, FigureThreeOneExample) {
+  // The employees example of Figure 3-1: checks the visibility of each row
+  // at each time.
+  struct Row {
+    Timestamp ins, del;
+  };
+  std::vector<Row> rows = {{1, 0}, {1, 3}, {2, 0}, {4, 6}, {6, 0}};
+  auto visible_count = [&](Timestamp at) {
+    int n = 0;
+    for (const Row& r : rows) {
+      Tuple t;
+      t.set_insertion_ts(r.ins);
+      t.set_deletion_ts(r.del);
+      if (t.VisibleAt(at)) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(visible_count(1), 2);  // Jessica, Kenny
+  EXPECT_EQ(visible_count(2), 3);  // + Suey
+  EXPECT_EQ(visible_count(3), 2);  // Kenny deleted at 3
+  EXPECT_EQ(visible_count(4), 3);  // + Elliss
+  EXPECT_EQ(visible_count(6), 3);  // Elliss -> Ellis update (del 6, ins 6)
+}
+
+TEST(TupleTest, WireSerialization) {
+  Schema s = SmallSchema();
+  Tuple t(test::SmallRow(1, 2, "x"));
+  t.set_tuple_id(5);
+  t.set_insertion_ts(9);
+  ByteBufferWriter w;
+  t.Serialize(s, &w);
+  ByteBufferReader r(w.data());
+  ASSERT_OK_AND_ASSIGN(Tuple back, Tuple::Deserialize(s, &r));
+  EXPECT_EQ(t, back);
+}
+
+// --------------------------------------------------------------- HeapPage
+
+TEST(HeapPageTest, CapacityAccountsForBitmap) {
+  // 80-byte tuples: 4080 usable; 51 slots need 7 bitmap bytes -> 50 fit.
+  uint16_t cap = HeapPage::CapacityFor(80);
+  EXPECT_GT(cap, 0u);
+  EXPECT_LE(cap * 80u + (cap + 7u) / 8u, kPageSize - 16u);
+  // And cap+1 would not fit:
+  EXPECT_GT((cap + 1u) * 80u + (cap + 8u) / 8u, kPageSize - 16u);
+}
+
+class HeapPageParamTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HeapPageParamTest, FillFreeRefill) {
+  const uint32_t tuple_bytes = GetParam();
+  std::vector<uint8_t> page(kPageSize);
+  HeapPage view(page.data(), tuple_bytes);
+  view.Init();
+  const uint16_t cap = view.capacity();
+  ASSERT_GT(cap, 0u);
+
+  std::vector<uint8_t> tuple(tuple_bytes, 0xab);
+  for (uint16_t i = 0; i < cap; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint16_t slot, view.InsertTuple(tuple.data()));
+    EXPECT_EQ(slot, i);  // dense packing: first free slot
+  }
+  EXPECT_TRUE(view.full());
+  EXPECT_TRUE(view.InsertTuple(tuple.data()).status().IsOutOfRange());
+
+  // Free a middle slot and reinsert: the hole is reused.
+  ASSERT_OK(view.FreeSlot(cap / 2));
+  EXPECT_FALSE(view.full());
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, view.InsertTuple(tuple.data()));
+  EXPECT_EQ(slot, cap / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(TupleSizes, HeapPageParamTest,
+                         ::testing::Values(32, 56, 80, 128, 400, 2000));
+
+TEST(HeapPageTest, FreeingEmptySlotFails) {
+  std::vector<uint8_t> page(kPageSize);
+  HeapPage view(page.data(), 80);
+  view.Init();
+  EXPECT_TRUE(view.FreeSlot(0).IsNotFound());
+  EXPECT_TRUE(view.FreeSlot(10000).IsOutOfRange());
+}
+
+TEST(HeapPageTest, PageLsnRoundTrip) {
+  std::vector<uint8_t> page(kPageSize);
+  HeapPage view(page.data(), 80);
+  view.Init();
+  EXPECT_EQ(view.page_lsn(), kInvalidLsn);
+  view.set_page_lsn(12345);
+  EXPECT_EQ(view.page_lsn(), 12345u);
+}
+
+TEST(HeapPageTest, InsertTupleAtForRedo) {
+  std::vector<uint8_t> page(kPageSize);
+  HeapPage view(page.data(), 80);
+  view.Init();
+  std::vector<uint8_t> tuple(80, 0x11);
+  ASSERT_OK(view.InsertTupleAt(7, tuple.data()));
+  EXPECT_TRUE(view.IsOccupied(7));
+  EXPECT_EQ(view.occupied_count(), 1u);
+  // Idempotent: reapplying does not double-count.
+  ASSERT_OK(view.InsertTupleAt(7, tuple.data()));
+  EXPECT_EQ(view.occupied_count(), 1u);
+}
+
+// ------------------------------------------------------------ FileManager
+
+TEST(FileManagerTest, AllocateWriteRead) {
+  FileManager fm(MakeTempDir("fm"), nullptr);
+  ASSERT_OK(fm.OpenOrCreate(1));
+  ASSERT_OK_AND_ASSIGN(uint32_t p0, fm.AllocatePage(1));
+  ASSERT_OK_AND_ASSIGN(uint32_t p1, fm.AllocatePage(1));
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(fm.NumPages(1).value(), 2u);
+
+  std::vector<uint8_t> out(kPageSize, 0x5a);
+  ASSERT_OK(fm.WritePage(PageId{1, 1}, out.data()));
+  std::vector<uint8_t> in(kPageSize);
+  ASSERT_OK(fm.ReadPage(PageId{1, 1}, in.data(), false));
+  EXPECT_EQ(in, out);
+  // Page 0 still zeroed.
+  ASSERT_OK(fm.ReadPage(PageId{1, 0}, in.data(), true));
+  EXPECT_EQ(in, std::vector<uint8_t>(kPageSize, 0));
+}
+
+TEST(FileManagerTest, ReopenSeesDurableState) {
+  std::string dir = MakeTempDir("fm2");
+  {
+    FileManager fm(dir, nullptr);
+    ASSERT_OK(fm.OpenOrCreate(3));
+    ASSERT_OK(fm.AllocatePage(3).status());
+    std::vector<uint8_t> page(kPageSize, 0x77);
+    ASSERT_OK(fm.WritePage(PageId{3, 0}, page.data()));
+  }
+  FileManager fm(dir, nullptr);
+  ASSERT_OK(fm.OpenOrCreate(3));
+  EXPECT_EQ(fm.NumPages(3).value(), 1u);
+  std::vector<uint8_t> in(kPageSize);
+  ASSERT_OK(fm.ReadPage(PageId{3, 0}, in.data(), false));
+  EXPECT_EQ(in[0], 0x77);
+}
+
+TEST(FileManagerTest, MissingFileErrors) {
+  FileManager fm(MakeTempDir("fm3"), nullptr);
+  std::vector<uint8_t> buf(kPageSize);
+  EXPECT_TRUE(fm.ReadPage(PageId{9, 0}, buf.data(), false).IsNotFound());
+  EXPECT_TRUE(fm.NumPages(9).status().IsNotFound());
+}
+
+// ------------------------------------------------------ SegmentedHeapFile
+
+class SegmentedFileTest : public ::testing::Test {
+ protected:
+  SegmentedFileTest() : fm_(MakeTempDir("seg"), nullptr) {}
+  FileManager fm_;
+};
+
+TEST_F(SegmentedFileTest, CreateOpenRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 4));
+  EXPECT_EQ(file->num_segments(), 1u);
+  EXPECT_EQ(file->tuple_bytes(), 80u);
+  ASSERT_OK_AND_ASSIGN(PageId p, file->AppendPage());
+  EXPECT_EQ(p.page_no, SegmentedHeapFile::kHeaderPages);
+  file->NoteCommittedInsertion(0, 7);
+  ASSERT_OK(file->SyncHeaderIfDirty());
+
+  ASSERT_OK_AND_ASSIGN(auto reopened, SegmentedHeapFile::Open(&fm_, 1));
+  EXPECT_EQ(reopened->num_segments(), 1u);
+  EXPECT_EQ(reopened->segment(0).min_insertion, 7u);
+  EXPECT_EQ(reopened->segment(0).max_insertion, 7u);
+  EXPECT_EQ(reopened->segment(0).num_pages, 1u);
+}
+
+TEST_F(SegmentedFileTest, RollsOverAtBudget) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 2));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(file->AppendPage().status());
+  }
+  // 5 pages with budget 2: segments of 2, 2, 1.
+  EXPECT_EQ(file->num_segments(), 3u);
+  EXPECT_EQ(file->segment(0).num_pages, 2u);
+  EXPECT_EQ(file->segment(1).num_pages, 2u);
+  EXPECT_EQ(file->segment(2).num_pages, 1u);
+  // Pages are contiguous per segment.
+  EXPECT_EQ(file->segment(1).start_page,
+            file->segment(0).start_page + 2);
+}
+
+TEST_F(SegmentedFileTest, PruningPredicates) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 1));
+  ASSERT_OK(file->AppendPage().status());
+  ASSERT_OK(file->AppendPage().status());
+  ASSERT_OK(file->AppendPage().status());
+  ASSERT_EQ(file->num_segments(), 3u);
+  // Segment 0: insertions 1-10, max deletion 15. Segment 1: insertions
+  // 11-20. Segment 2: untouched.
+  file->NoteCommittedInsertion(0, 1);
+  file->NoteCommittedInsertion(0, 10);
+  file->NoteCommittedDeletion(0, 15);
+  file->NoteCommittedInsertion(1, 11);
+  file->NoteCommittedInsertion(1, 20);
+
+  // insertion <= 5 can only be in segment 0.
+  EXPECT_TRUE(file->MayContainInsertionAtOrBefore(0, 5));
+  EXPECT_FALSE(file->MayContainInsertionAtOrBefore(1, 5));
+  EXPECT_FALSE(file->MayContainInsertionAtOrBefore(2, 5));
+  // insertion > 10 only in segment 1.
+  EXPECT_FALSE(file->MayContainInsertionAfter(0, 10));
+  EXPECT_TRUE(file->MayContainInsertionAfter(1, 10));
+  EXPECT_FALSE(file->MayContainInsertionAfter(2, 10));
+  // deletion > 10 only in segment 0.
+  EXPECT_TRUE(file->MayContainDeletionAfter(0, 10));
+  EXPECT_FALSE(file->MayContainDeletionAfter(1, 10));
+  EXPECT_FALSE(file->MayContainDeletionAfter(0, 15));
+}
+
+TEST_F(SegmentedFileTest, UncommittedFlags) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 4));
+  EXPECT_FALSE(file->MayContainUncommitted(0));
+  file->NoteUncommittedInsertion(0);
+  EXPECT_TRUE(file->MayContainUncommitted(0));
+  file->ResetUncommittedFlags({});  // checkpoint says nothing uncommitted
+  EXPECT_FALSE(file->MayContainUncommitted(0));
+  file->NoteUncommittedInsertion(0);
+  file->ResetUncommittedFlags({0});  // still live
+  EXPECT_TRUE(file->MayContainUncommitted(0));
+}
+
+TEST_F(SegmentedFileTest, BulkDrop) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 1));
+  ASSERT_OK(file->AppendPage().status());
+  ASSERT_OK(file->AppendPage().status());
+  ASSERT_EQ(file->num_segments(), 2u);
+  ASSERT_OK_AND_ASSIGN(size_t dropped, file->BulkDropOldestSegment());
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_TRUE(file->segment(0).dropped);
+  // Dropping the open segment is refused.
+  EXPECT_TRUE(file->BulkDropOldestSegment().status().IsInvalidArgument());
+  // Dropped segments never match pruning predicates.
+  file->NoteCommittedInsertion(0, 5);
+  EXPECT_FALSE(file->MayContainInsertionAtOrBefore(0, 100));
+}
+
+TEST_F(SegmentedFileTest, SegmentOfPage) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 2));
+  for (int i = 0; i < 4; ++i) ASSERT_OK(file->AppendPage().status());
+  const uint32_t base = SegmentedHeapFile::kHeaderPages;
+  EXPECT_EQ(file->SegmentOfPage(base + 0).value(), 0u);
+  EXPECT_EQ(file->SegmentOfPage(base + 1).value(), 0u);
+  EXPECT_EQ(file->SegmentOfPage(base + 2).value(), 1u);
+  EXPECT_TRUE(file->SegmentOfPage(base + 100).status().IsNotFound());
+}
+
+TEST_F(SegmentedFileTest, ReconcileAfterUnsyncedAllocations) {
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       SegmentedHeapFile::Create(&fm_, 1, 80, 2));
+  // Allocate 5 pages but never sync the header (simulating a crash between
+  // allocation and the next checkpoint).
+  for (int i = 0; i < 5; ++i) ASSERT_OK(file->AppendPage().status());
+  ASSERT_OK_AND_ASSIGN(auto reopened, SegmentedHeapFile::Open(&fm_, 1));
+  // Open reconciles: all 5 data pages are covered again.
+  size_t covered = 0;
+  for (size_t s = 0; s < reopened->num_segments(); ++s) {
+    covered += reopened->segment(s).num_pages;
+  }
+  EXPECT_EQ(covered, 5u);
+}
+
+// -------------------------------------------------------------- TupleIndex
+
+TEST(TupleIndexTest, InsertLookupRemove) {
+  TupleIdIndex index;
+  RecordId r1{PageId{1, 4}, 0};
+  RecordId r2{PageId{1, 5}, 3};
+  index.Insert(42, r1);
+  index.Insert(42, r2);  // second version of the same tuple
+  EXPECT_EQ(index.Lookup(42).size(), 2u);
+  EXPECT_TRUE(index.Lookup(7).empty());
+  index.Remove(42, r1);
+  ASSERT_EQ(index.Lookup(42).size(), 1u);
+  EXPECT_EQ(index.Lookup(42)[0], r2);
+  index.Remove(42, r2);
+  EXPECT_TRUE(index.Lookup(42).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+// --------------------------------------------------------------- Partition
+
+TEST(PartitionTest, ContainsAndIntersect) {
+  PartitionRange full = PartitionRange::Full();
+  EXPECT_TRUE(full.Contains(INT64_MIN));
+  PartitionRange lo = PartitionRange::On("id", 0, 100);
+  EXPECT_TRUE(lo.Contains(0));
+  EXPECT_TRUE(lo.Contains(99));
+  EXPECT_FALSE(lo.Contains(100));
+  EXPECT_FALSE(lo.Contains(-1));
+
+  auto both = PartitionRange::Intersect(lo, PartitionRange::On("id", 50, 200));
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->lo, 50);
+  EXPECT_EQ(both->hi, 100);
+
+  EXPECT_FALSE(PartitionRange::Intersect(
+                   lo, PartitionRange::On("id", 100, 200))
+                   .has_value());
+  auto with_full = PartitionRange::Intersect(full, lo);
+  ASSERT_TRUE(with_full.has_value());
+  EXPECT_EQ(*with_full, lo);
+}
+
+// ------------------------------------------------------------ LocalCatalog
+
+TEST(LocalCatalogTest, PersistAndReopen) {
+  std::string dir = MakeTempDir("cat");
+  {
+    FileManager fm(dir, nullptr);
+    LocalCatalog catalog(&fm);
+    ASSERT_OK(catalog
+                  .CreateObject(5, 2, "emp@1", SmallSchema(),
+                                PartitionRange::On("id", 0, 100), 8)
+                  .status());
+    ASSERT_OK(catalog
+                  .CreateObject(6, 2, "emp2@1", SmallSchema().Reordered({2, 1, 0}),
+                                PartitionRange::Full(), 16)
+                  .status());
+  }
+  FileManager fm(dir, nullptr);
+  LocalCatalog catalog(&fm);
+  ASSERT_OK(catalog.OpenAll());
+  ASSERT_OK_AND_ASSIGN(TableObject * obj, catalog.GetObject(5));
+  EXPECT_EQ(obj->name, "emp@1");
+  EXPECT_EQ(obj->partition, PartitionRange::On("id", 0, 100));
+  EXPECT_EQ(obj->segment_page_budget, 8u);
+  ASSERT_OK_AND_ASSIGN(TableObject * obj2, catalog.GetObjectByName("emp2@1"));
+  EXPECT_EQ(obj2->schema.column(0).name, "name");
+  EXPECT_EQ(catalog.objects().size(), 2u);
+  EXPECT_TRUE(catalog.GetObject(99).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace harbor

@@ -1,0 +1,70 @@
+#ifndef HARBOR_TESTS_TEST_UTIL_H_
+#define HARBOR_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+/// Asserts that a Status-returning expression is OK.
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    ::harbor::Status _st = (expr);                      \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    ::harbor::Status _st = (expr);                      \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+/// Asserts a Result is OK and assigns its value.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      HARBOR_RESULT_CONCAT(_assert_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)             \
+  auto tmp = (rexpr);                                          \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();            \
+  lhs = std::move(tmp).value()
+
+namespace harbor::test {
+
+/// Fresh scratch directory under the test temp root.
+inline std::string MakeTempDir(const std::string& hint) {
+  std::string tmpl = ::testing::TempDir() + "harbor-" + hint + "-XXXXXX";
+  char* buf = tmpl.data();
+  char* dir = ::mkdtemp(buf);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir);
+}
+
+/// The evaluation tuple shape: 16 4-byte integer fields including the two
+/// timestamp fields (§6.2) — so 14 user INT32 columns, 64 bytes + tuple id.
+inline Schema EvalSchema() {
+  std::vector<Column> cols;
+  for (int i = 0; i < 14; ++i) {
+    cols.push_back(Column::Int32("f" + std::to_string(i)));
+  }
+  return Schema(std::move(cols));
+}
+
+/// A small 3-column schema for focused tests.
+inline Schema SmallSchema() {
+  return Schema({Column::Int64("id"), Column::Int64("qty"),
+                 Column::Char("name", 16)});
+}
+
+inline std::vector<Value> SmallRow(int64_t id, int64_t qty,
+                                   const std::string& name) {
+  return {Value(id), Value(qty), Value(name)};
+}
+
+}  // namespace harbor::test
+
+#endif  // HARBOR_TESTS_TEST_UTIL_H_
