@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/time_travel_audit.cpp" "examples/CMakeFiles/time_travel_audit.dir/time_travel_audit.cpp.o" "gcc" "examples/CMakeFiles/time_travel_audit.dir/time_travel_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harbor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/harbor_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/aries/CMakeFiles/harbor_aries.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/harbor_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/harbor_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/harbor_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/harbor_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/harbor_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harbor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harbor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harbor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

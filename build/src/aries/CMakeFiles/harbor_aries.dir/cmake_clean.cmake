@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_aries.dir/aries.cc.o"
+  "CMakeFiles/harbor_aries.dir/aries.cc.o.d"
+  "libharbor_aries.a"
+  "libharbor_aries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_aries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

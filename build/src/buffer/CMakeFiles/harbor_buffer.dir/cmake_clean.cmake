@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/harbor_buffer.dir/buffer_pool.cc.o.d"
+  "libharbor_buffer.a"
+  "libharbor_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_common.dir/status.cc.o"
+  "CMakeFiles/harbor_common.dir/status.cc.o.d"
+  "libharbor_common.a"
+  "libharbor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_core.dir/checkpoint_file.cc.o"
+  "CMakeFiles/harbor_core.dir/checkpoint_file.cc.o.d"
+  "CMakeFiles/harbor_core.dir/cluster.cc.o"
+  "CMakeFiles/harbor_core.dir/cluster.cc.o.d"
+  "CMakeFiles/harbor_core.dir/coordinator.cc.o"
+  "CMakeFiles/harbor_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/harbor_core.dir/global_catalog.cc.o"
+  "CMakeFiles/harbor_core.dir/global_catalog.cc.o.d"
+  "CMakeFiles/harbor_core.dir/messages.cc.o"
+  "CMakeFiles/harbor_core.dir/messages.cc.o.d"
+  "CMakeFiles/harbor_core.dir/recovery_manager.cc.o"
+  "CMakeFiles/harbor_core.dir/recovery_manager.cc.o.d"
+  "CMakeFiles/harbor_core.dir/update_request.cc.o"
+  "CMakeFiles/harbor_core.dir/update_request.cc.o.d"
+  "CMakeFiles/harbor_core.dir/worker.cc.o"
+  "CMakeFiles/harbor_core.dir/worker.cc.o.d"
+  "libharbor_core.a"
+  "libharbor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

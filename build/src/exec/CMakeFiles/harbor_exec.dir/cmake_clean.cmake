@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_exec.dir/dml.cc.o"
+  "CMakeFiles/harbor_exec.dir/dml.cc.o.d"
+  "CMakeFiles/harbor_exec.dir/operators.cc.o"
+  "CMakeFiles/harbor_exec.dir/operators.cc.o.d"
+  "CMakeFiles/harbor_exec.dir/predicate.cc.o"
+  "CMakeFiles/harbor_exec.dir/predicate.cc.o.d"
+  "CMakeFiles/harbor_exec.dir/scan_spec.cc.o"
+  "CMakeFiles/harbor_exec.dir/scan_spec.cc.o.d"
+  "CMakeFiles/harbor_exec.dir/seq_scan.cc.o"
+  "CMakeFiles/harbor_exec.dir/seq_scan.cc.o.d"
+  "libharbor_exec.a"
+  "libharbor_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

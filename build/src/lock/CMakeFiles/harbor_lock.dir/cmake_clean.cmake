@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/harbor_lock.dir/lock_manager.cc.o.d"
+  "libharbor_lock.a"
+  "libharbor_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

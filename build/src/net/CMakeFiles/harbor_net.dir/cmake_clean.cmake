@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_net.dir/network.cc.o"
+  "CMakeFiles/harbor_net.dir/network.cc.o.d"
+  "libharbor_net.a"
+  "libharbor_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_sim.dir/sim_device.cc.o"
+  "CMakeFiles/harbor_sim.dir/sim_device.cc.o.d"
+  "libharbor_sim.a"
+  "libharbor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_manager.cc" "src/storage/CMakeFiles/harbor_storage.dir/file_manager.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/file_manager.cc.o.d"
+  "/root/repo/src/storage/heap_page.cc" "src/storage/CMakeFiles/harbor_storage.dir/heap_page.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/heap_page.cc.o.d"
+  "/root/repo/src/storage/local_catalog.cc" "src/storage/CMakeFiles/harbor_storage.dir/local_catalog.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/local_catalog.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/harbor_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/segmented_heap_file.cc" "src/storage/CMakeFiles/harbor_storage.dir/segmented_heap_file.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/segmented_heap_file.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/harbor_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/harbor_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/harbor_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harbor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harbor_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_storage.dir/file_manager.cc.o"
+  "CMakeFiles/harbor_storage.dir/file_manager.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/heap_page.cc.o"
+  "CMakeFiles/harbor_storage.dir/heap_page.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/local_catalog.cc.o"
+  "CMakeFiles/harbor_storage.dir/local_catalog.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/schema.cc.o"
+  "CMakeFiles/harbor_storage.dir/schema.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/segmented_heap_file.cc.o"
+  "CMakeFiles/harbor_storage.dir/segmented_heap_file.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/tuple.cc.o"
+  "CMakeFiles/harbor_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/harbor_storage.dir/value.cc.o"
+  "CMakeFiles/harbor_storage.dir/value.cc.o.d"
+  "libharbor_storage.a"
+  "libharbor_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

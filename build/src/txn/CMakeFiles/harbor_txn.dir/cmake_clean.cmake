@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_txn.dir/version_store.cc.o"
+  "CMakeFiles/harbor_txn.dir/version_store.cc.o.d"
+  "libharbor_txn.a"
+  "libharbor_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

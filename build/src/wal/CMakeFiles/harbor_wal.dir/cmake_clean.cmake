@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harbor_wal.dir/log_manager.cc.o"
+  "CMakeFiles/harbor_wal.dir/log_manager.cc.o.d"
+  "CMakeFiles/harbor_wal.dir/log_record.cc.o"
+  "CMakeFiles/harbor_wal.dir/log_record.cc.o.d"
+  "libharbor_wal.a"
+  "libharbor_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harbor_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

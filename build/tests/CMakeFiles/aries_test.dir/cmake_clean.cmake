@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aries_test.dir/aries_test.cc.o"
+  "CMakeFiles/aries_test.dir/aries_test.cc.o.d"
+  "aries_test"
+  "aries_test.pdb"
+  "aries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
