@@ -4,6 +4,12 @@
 // coordinator, lets the workers run the consensus building protocol, and
 // reports the action they converge on.
 //
+// Note: the correctness side of this table is asserted by
+// tests/fault_test.cc (CoordinatorCrashMatrixTest), which crashes the
+// coordinator at named fault points and checks the outcome under both 2PC
+// and 3PC. This bench remains as a human-readable demonstration and for
+// timing the consensus path; it is not the verification of record.
+//
 // Expected (Table 4.1):
 //   backup state           action
 //   pending                abort

@@ -147,7 +147,9 @@ class BufferPool {
   std::vector<std::unique_ptr<Frame>> frames_;
   std::unordered_map<PageId, size_t> page_to_frame_;
   uint64_t use_counter_ = 0;
-  Random rng_{0xbadcafe};
+  // Eviction stream derived from the run-level seed so HARBOR_SEED shifts
+  // it along with everything else.
+  Random rng_{Random::GlobalSeed() ^ 0xbadcafe};
 
   std::function<Status(Lsn)> wal_flush_hook_;
   std::function<Status(uint32_t)> header_sync_hook_;

@@ -2,6 +2,7 @@
 #define HARBOR_COMMON_RANDOM_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 
 namespace harbor {
@@ -10,7 +11,25 @@ namespace harbor {
 /// eviction policy (§6.1.3). Wraps std::mt19937_64 with convenience ranges.
 class Random {
  public:
-  explicit Random(uint64_t seed = 42) : engine_(seed) {}
+  /// The run-level seed: parsed once from the HARBOR_SEED environment
+  /// variable (default 42). Chaos and property tests derive their per-case
+  /// seeds from it so a whole run reproduces from one number.
+  static uint64_t GlobalSeed() {
+    static const uint64_t seed = [] {
+      const char* env = std::getenv("HARBOR_SEED");
+      if (env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env) return static_cast<uint64_t>(v);
+      }
+      return uint64_t{42};
+    }();
+    return seed;
+  }
+
+  /// Seeded from GlobalSeed(), i.e. follows HARBOR_SEED.
+  Random() : engine_(GlobalSeed()) {}
+  explicit Random(uint64_t seed) : engine_(seed) {}
 
   /// Uniform integer in [0, n). n must be > 0.
   uint64_t Uniform(uint64_t n) {

@@ -34,6 +34,12 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterOptions options) {
   }
 
   cluster->network_ = std::make_unique<Network>(options.sim);
+  // A site that dies between BeginCommit and EndCommit would pin
+  // StableTime() forever; subscribed before any site so the epoch holds are
+  // freed ahead of the workers' own crash handling (consensus, §4.3.3).
+  Cluster* raw = cluster.get();
+  cluster->network_->SubscribeCrash(
+      [raw](SiteId site) { raw->authority_.ReleaseSite(site); });
 
   CoordinatorOptions copt;
   copt.site_id = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "fault/fault_injector.h"
+
 namespace harbor {
 
 Coordinator::Coordinator(Network* network, GlobalCatalog* catalog,
@@ -143,6 +145,7 @@ void Coordinator::EraseTxn(TxnId txn) {
 // ----------------------------------------------------------- distribution
 
 Status Coordinator::Distribute(TxnId txn, UpdateRequest request) {
+  HARBOR_FAULT_POINT("coordinator.distribute", options_.site_id);
   HARBOR_ASSIGN_OR_RETURN(std::shared_ptr<CoordTxn> ct, GetTxn(txn));
   // Shared side of the coming-online gate: joins of recovering sites are
   // serialized against update distribution (§5.4.2).
@@ -302,18 +305,19 @@ Status Coordinator::AbortWithWorkers(
 
 Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
   const std::vector<SiteId>& participants = ct->workers;
+  HARBOR_FAULT_POINT("coordinator.commit.begin", options_.site_id);
 
   if (options_.protocol == CommitProtocol::kOptimized1PC) {
     // Logless one-phase commit (§4.3.2): every integrity constraint was
     // already verified per update operation, so no site can need to vote
     // NO — the coordinator goes straight to COMMIT. A crashed worker
     // recovers the committed data from replicas like any other failure.
-    const Timestamp ts = authority_->BeginCommit();
+    const Timestamp ts = authority_->BeginCommit(options_.site_id);
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
     Broadcast(participants, commit.Encode());
-    authority_->EndCommit(ts);
+    authority_->EndCommit(ts, options_.site_id);
     committed_.fetch_add(1, std::memory_order_relaxed);
     ct->finished = true;
     EraseTxn(ct->id);
@@ -321,6 +325,7 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
   }
 
   // ---- Phase 1: PREPARE / vote collection (all other protocols) ----
+  HARBOR_FAULT_POINT("coordinator.before_prepare", options_.site_id);
   PrepareMsg prepare;
   prepare.txn = ct->id;
   prepare.coordinator = options_.site_id;
@@ -352,24 +357,39 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     }
   }
   if (!all_yes) return AbortWithWorkers(ct, yes_sites);
+  HARBOR_FAULT_POINT("coordinator.after_prepare", options_.site_id);
 
-  const Timestamp ts = authority_->BeginCommit();
+  const Timestamp ts = authority_->BeginCommit(options_.site_id);
+  // Fault points past the commit point must release the epoch hold before
+  // surfacing the injected failure, or StableTime() would be pinned at ts-1
+  // forever; the plain macro cannot, so these points go through a wrapper.
+  // (After an injected crash the hold is already gone via ReleaseSite and
+  // the extra EndCommit is a no-op.)
+  auto fault_point = [&](const char* point) -> Status {
+    fault::FaultInjector* fi = fault::FaultInjector::Current();
+    if (fi == nullptr) return Status::OK();
+    Status st = fi->OnPoint(point, options_.site_id, fault::CrashMode::kSync);
+    if (!st.ok()) authority_->EndCommit(ts, options_.site_id);
+    return st;
+  };
 
   if (!IsThreePhase(options_.protocol)) {
     // ---- 2PC phase 2 ----
     Status st = LogDecisionForced(ct->id, /*commit=*/true, ts);
     if (!st.ok()) {
-      authority_->EndCommit(ts);
+      authority_->EndCommit(ts, options_.site_id);
       return st;
     }
     {
       std::lock_guard<std::mutex> lock(unresolved_mu_);
       unresolved_[ct->id] = {true, ts};
     }
+    HARBOR_RETURN_NOT_OK(fault_point("coordinator.2pc.after_decision_logged"));
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
     std::vector<Status> acks = Broadcast(yes_sites, commit.Encode());
+    HARBOR_RETURN_NOT_OK(fault_point("coordinator.2pc.after_commit_send"));
     bool all_acked = true;
     for (const Status& a : acks) all_acked &= a.ok();
     if (log_ != nullptr) {
@@ -389,14 +409,16 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     ptc.txn = ct->id;
     ptc.commit_ts = ts;
     Broadcast(yes_sites, ptc.Encode());
+    HARBOR_RETURN_NOT_OK(fault_point("coordinator.3pc.after_ptc"));
     // All ACKs received: the commit point, with no forced write anywhere.
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
     Broadcast(yes_sites, commit.Encode());
+    HARBOR_RETURN_NOT_OK(fault_point("coordinator.3pc.after_commit_send"));
   }
 
-  authority_->EndCommit(ts);
+  authority_->EndCommit(ts, options_.site_id);
   committed_.fetch_add(1, std::memory_order_relaxed);
   ct->finished = true;
   EraseTxn(ct->id);

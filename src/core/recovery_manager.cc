@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "core/messages.h"
 #include "exec/seq_scan.h"
+#include "fault/fault_injector.h"
 
 namespace harbor {
 
@@ -30,6 +31,7 @@ Status RecoveryManager::ComputeCover(ObjectPlan* plan) {
 // ------------------------------------------------------------- Phase 1
 
 Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
+  HARBOR_FAULT_POINT("recovery.phase1.begin", worker_->site_id());
   Stopwatch watch;
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
@@ -196,6 +198,7 @@ Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
 Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
   TimestampAuthority* authority = worker_->authority();
   for (int round = 0; round < options_.max_phase2_rounds; ++round) {
+    HARBOR_FAULT_POINT("recovery.phase2.round", worker_->site_id());
     const Timestamp hwm = authority->StableTime();
     if (hwm <= plan->checkpoint && round > 0) break;
     HARBOR_RETURN_NOT_OK(ComputeCover(plan));
@@ -211,6 +214,8 @@ Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
     HARBOR_RETURN_NOT_OK(plan->obj->file->SyncHeaderIfDirty());
     HARBOR_RETURN_NOT_OK(
         worker_->WriteObjectCheckpoint(plan->obj->object_id, hwm));
+    HARBOR_FAULT_POINT("recovery.phase2.after_checkpoint",
+                       worker_->site_id());
     plan->checkpoint = hwm;
     // Stop iterating once we are close enough to the present for Phase 3's
     // locked queries to be cheap.
@@ -272,6 +277,12 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   }
   HARBOR_RETURN_NOT_OK(acquired);
 
+  // A recovering site dying while it holds its buddies' table read locks is
+  // §5.5.1's hard case: this point deliberately returns WITHOUT the unlock
+  // loop below (crash action only) — the buddies' crash subscribers must
+  // release the orphaned recovery locks.
+  HARBOR_FAULT_POINT("recovery.phase3.locks_held", self);
+
   // With the locks held no pending update transaction touching these
   // objects can commit; copy the final delta with ordinary (non-historical)
   // SEE DELETED queries (§5.4.1).
@@ -306,6 +317,14 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
 
   // Join pending transactions: tell every coordinator that rec on S is
   // coming online; the reply is the "all done" of Figure 5-4.
+  if (st.ok()) {
+    // Funneled into st (not the return macro) so the lock release below
+    // still runs and a clean retry is possible.
+    if (fault::FaultInjector* fi = fault::FaultInjector::Current()) {
+      st = fi->OnPoint("recovery.phase3.coming_online", self,
+                       fault::CrashMode::kSync);
+    }
+  }
   if (st.ok()) {
     ComingOnlineMsg online;
     online.site = self;
@@ -344,6 +363,13 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
 Result<RecoveryStats> RecoveryManager::Recover() {
   Status last = Status::OK();
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (!worker_->running()) {
+      // The recovering site itself died mid-recovery (its runtime is gone);
+      // a retry would touch freed state. The caller restarts the site and
+      // runs a fresh RecoveryManager.
+      last = Status::Unavailable("recovering site went down mid-recovery");
+      break;
+    }
     worker_->PauseCheckpoints(true);
     RecoveryStats stats;
     Stopwatch total;

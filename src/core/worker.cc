@@ -4,6 +4,7 @@
 
 #include "exec/dml.h"
 #include "exec/seq_scan.h"
+#include "fault/fault_injector.h"
 
 namespace harbor {
 
@@ -277,6 +278,7 @@ Result<Message> Worker::Handle(SiteId from, const Message& m) {
 }
 
 Result<Message> Worker::HandleExecUpdate(const ExecUpdateMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.exec_update", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   // Simulated per-transaction CPU work occupies this site's processor
@@ -329,6 +331,7 @@ Result<Message> Worker::HandleExecUpdate(const ExecUpdateMsg& m) {
 }
 
 Result<Message> Worker::HandlePrepare(const PrepareMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.prepare", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -378,6 +381,7 @@ Result<Message> Worker::HandlePrepare(const PrepareMsg& m) {
 }
 
 Result<Message> Worker::HandlePrepareToCommit(const CommitTsMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.prepare_to_commit", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -435,6 +439,7 @@ Status Worker::AbortLocally(TxnState* txn) {
 }
 
 Result<Message> Worker::HandleCommit(const CommitTsMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.commit", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -443,10 +448,13 @@ Result<Message> Worker::HandleCommit(const CommitTsMsg& m) {
   std::lock_guard<std::mutex> guard(txn->mu);
   if (txn->phase == TxnPhase::kCommitted) return AckMessage();
   HARBOR_RETURN_NOT_OK(CommitLocally(txn.get(), m.commit_ts));
+  // Crash here: tuples stamped but the ACK never reaches the coordinator.
+  HARBOR_FAULT_POINT_ASYNC("worker.commit.after_apply", options_.site_id);
   return AckMessage();
 }
 
 Result<Message> Worker::HandleAbort(const TxnMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.abort", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -463,6 +471,7 @@ Result<Message> Worker::HandleAbort(const TxnMsg& m) {
 }
 
 Result<Message> Worker::HandleScan(const ScanMsg& m) {
+  HARBOR_FAULT_POINT_ASYNC("worker.scan", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   HARBOR_ASSIGN_OR_RETURN(TableObject * obj,
@@ -557,6 +566,7 @@ void Worker::OnSiteCrash(SiteId crashed) {
 }
 
 void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
+  HARBOR_FAULT_HIT("worker.consensus", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr || !running_.load()) return;
   auto txn_r = rt->txns.Get(txn_id);
@@ -638,7 +648,9 @@ void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
         (void)CommitLocally(self->get(), ts);
       }
     }
-    authority_->EndCommit(ts);  // release the dead coordinator's epoch hold
+    // Release the dead coordinator's epoch hold (no-op if ReleaseSite beat
+    // us to it on the crash notification).
+    authority_->EndCommit(ts, dead_coordinator);
   } else {
     for (SiteId p : alive) {
       if (p == options_.site_id) continue;

@@ -1,5 +1,9 @@
 #include "net/network.h"
 
+#include <chrono>
+
+#include "fault/fault_injector.h"
+
 namespace harbor {
 
 Network::~Network() {
@@ -56,6 +60,9 @@ void Network::ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep) {
       call = std::move(ep->inbox.front());
       ep->inbox.pop_front();
       ep->in_flight++;
+    }
+    if (call.delay_ms > 0) {  // fault-injected link delay
+      std::this_thread::sleep_for(std::chrono::milliseconds(call.delay_ms));
     }
     // Request delivery cost (sender = caller) is paid on the server thread
     // so the (async) caller is not blocked by it.
@@ -114,6 +121,21 @@ std::future<Result<Message>> Network::CallAsync(SiteId from, SiteId to,
         Status::Unavailable("no site " + std::to_string(to)));
     return future;
   }
+  // Link faults: a dropped message surfaces as kUnavailable at the caller
+  // (under fail-stop RPC there are no silent losses — a broken connection is
+  // the failure signal); a duplicate exercises handler idempotency.
+  int64_t delay_ms = 0;
+  bool duplicate = false;
+  if (fault::FaultInjector* fi = fault::FaultInjector::Current()) {
+    fault::LinkDecision d = fi->OnMessage(from, to, request.type);
+    if (d.drop) {
+      promise->set_value(Status::Unavailable(
+          "fault-injected drop of message to site " + std::to_string(to)));
+      return future;
+    }
+    delay_ms = d.delay_ms;
+    duplicate = d.duplicate;
+  }
   {
     std::lock_guard<std::mutex> lock(ep->mu);
     if (!ep->alive) {
@@ -121,7 +143,12 @@ std::future<Result<Message>> Network::CallAsync(SiteId from, SiteId to,
           "site " + std::to_string(to) + " is down (connection refused)"));
       return future;
     }
-    ep->inbox.push_back(PendingCall{from, std::move(request), promise});
+    if (duplicate) {
+      auto dup_promise = std::make_shared<std::promise<Result<Message>>>();
+      ep->inbox.push_back(PendingCall{from, request, dup_promise, delay_ms});
+    }
+    ep->inbox.push_back(
+        PendingCall{from, std::move(request), promise, delay_ms});
   }
   ep->cv.notify_all();
   return future;

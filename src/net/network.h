@@ -89,6 +89,7 @@ class Network {
     SiteId from;
     Message request;
     std::shared_ptr<std::promise<Result<Message>>> promise;
+    int64_t delay_ms = 0;  // fault-injected in-flight delay
   };
   struct Endpoint {
     Handler handler;

@@ -1,11 +1,13 @@
 #ifndef HARBOR_TXN_TIMESTAMP_AUTHORITY_H_
 #define HARBOR_TXN_TIMESTAMP_AUTHORITY_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/types.h"
 
@@ -38,18 +40,47 @@ class TimestampAuthority {
   void Advance() { now_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// Reserves the current epoch as a commit time; the epoch cannot become
-  /// stable until the matching EndCommit.
-  Timestamp BeginCommit() {
+  /// stable until the matching EndCommit (or until ReleaseSite frees the
+  /// owner's holds after its fail-stop crash). `owner` is the site driving
+  /// the commit — normally the coordinator.
+  Timestamp BeginCommit(SiteId owner = kInvalidSiteId) {
     std::lock_guard<std::mutex> lock(mu_);
     Timestamp ts = Now();
-    inflight_[ts]++;
+    inflight_[ts].push_back(owner);
     return ts;
   }
 
-  void EndCommit(Timestamp ts) {
+  /// Releases one hold on `ts`. Prefers an exact owner match; otherwise an
+  /// ownerless (kInvalidSiteId) hold. A backup coordinator finishing a dead
+  /// coordinator's transaction passes the dead site as owner — if
+  /// ReleaseSite already freed that hold this is a harmless no-op, and it
+  /// can never release a *live* coordinator's hold by mistake.
+  void EndCommit(Timestamp ts, SiteId owner = kInvalidSiteId) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inflight_.find(ts);
-    if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+    if (it == inflight_.end()) return;
+    std::vector<SiteId>& owners = it->second;
+    auto pos = std::find(owners.begin(), owners.end(), owner);
+    if (pos == owners.end()) {
+      pos = std::find(owners.begin(), owners.end(), kInvalidSiteId);
+    }
+    if (pos == owners.end()) return;
+    owners.erase(pos);
+    if (owners.empty()) inflight_.erase(it);
+  }
+
+  /// Drops every in-flight hold owned by `site` — fired on the site's crash
+  /// so a coordinator dying between BeginCommit and EndCommit cannot pin
+  /// StableTime() forever (its transactions are finished or aborted by the
+  /// backup-coordinator consensus, §4.3.3).
+  void ReleaseSite(SiteId site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      std::vector<SiteId>& owners = it->second;
+      owners.erase(std::remove(owners.begin(), owners.end(), site),
+                   owners.end());
+      it = owners.empty() ? inflight_.erase(it) : std::next(it);
+    }
   }
 
   /// Newest timestamp at which a historical query is safe: strictly before
@@ -92,7 +123,8 @@ class TimestampAuthority {
  private:
   std::atomic<Timestamp> now_;
   mutable std::mutex mu_;
-  std::map<Timestamp, int> inflight_;  // ordered: begin() = oldest
+  /// ts -> owners of in-flight commits at ts; ordered so begin() = oldest.
+  std::map<Timestamp, std::vector<SiteId>> inflight_;
 
   std::mutex ticker_mu_;
   std::condition_variable ticker_cv_;

@@ -69,7 +69,11 @@ void ExpectSnapshotsEqual(const Snapshot& expected, const Snapshot& actual,
 class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomWorkloadTest, ReplicasMatchReferenceAtEverySnapshot) {
-  Random rng(GetParam());
+  const uint64_t seed = test::MixSeed(GetParam());
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (reproduce with HARBOR_SEED=" +
+               std::to_string(Random::GlobalSeed()) + ")");
+  Random rng(seed);
   ClusterOptions opt;
   opt.num_workers = 2;
   opt.sim = SimConfig::Zero();
@@ -154,7 +158,11 @@ TEST_P(RandomWorkloadTest, ReplicasMatchReferenceAtEverySnapshot) {
 }
 
 TEST_P(RandomWorkloadTest, RecoveryReproducesReferenceAfterRandomCrash) {
-  Random rng(GetParam() * 7919 + 13);
+  const uint64_t seed = test::MixSeed(GetParam() * 7919 + 13);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (reproduce with HARBOR_SEED=" +
+               std::to_string(Random::GlobalSeed()) + ")");
+  Random rng(seed);
   ClusterOptions opt;
   opt.num_workers = 2;
   opt.sim = SimConfig::Zero();

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
@@ -34,6 +35,17 @@
   lhs = std::move(tmp).value()
 
 namespace harbor::test {
+
+/// Derives a test-case seed from a base value and the run-level seed
+/// (HARBOR_SEED). With HARBOR_SEED unset the base is returned unchanged, so
+/// default runs are byte-identical to historical ones; setting HARBOR_SEED
+/// shifts every seeded test in the run together.
+inline uint64_t MixSeed(uint64_t base) {
+  const uint64_t global = Random::GlobalSeed();
+  if (global == 42) return base;  // default seed: keep historical streams
+  uint64_t mixed = base * 0x9e3779b97f4a7c15ULL ^ global;
+  return mixed != 0 ? mixed : 1;
+}
 
 /// Fresh scratch directory under the test temp root.
 inline std::string MakeTempDir(const std::string& hint) {
