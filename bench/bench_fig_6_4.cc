@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_recovery_util.h"
+#include "obs/observer.h"
 
 namespace harbor::bench {
 namespace {
@@ -25,6 +26,12 @@ constexpr size_t kPreloadTuples = 10 * kSegmentPages * 50;  // 16 K rows
 void Run() {
   Banner("Figure 6-4 — recovery time vs insert transactions since crash",
          "§6.4.1, Figure 6-4");
+
+  // Collect per-site metrics across the whole grid; the recovering site's
+  // phase timers and tuple counts are printed at the end.
+  obs::Observer observer;
+  observer.Install();
+
   const std::vector<size_t> txn_counts = {2, 2500, 5000, 10000, 20000};
 
   std::printf("%-28s", "scenario\\inserts");
@@ -64,6 +71,13 @@ void Run() {
   std::printf("parallel vs serial 2-table gap at N=%zu: %.3f s vs %.3f s "
               "(paper: parallel wins, gap grows with N)\n",
               txn_counts.back(), grid[2].back(), grid[1].back());
+
+  // Worker 2 is the crashed-and-recovered site in every HARBOR scenario
+  // (see RunRecoveryExperiment); its recovery.phase{1,2,3}_ns histograms
+  // aggregate all grid cells above.
+  std::printf("\nRecovering-site metrics (site %u, all runs):\n%s\n",
+              Cluster::WorkerSite(2),
+              observer.MetricsJson(Cluster::WorkerSite(2)).c_str());
 }
 
 }  // namespace

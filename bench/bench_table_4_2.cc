@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/observer.h"
 
 namespace harbor::bench {
 namespace {
@@ -19,6 +20,11 @@ namespace {
 void Run() {
   Banner("Table 4.2 — messages and forced writes per commit protocol",
          "§4.3.4, Table 4.2");
+
+  // Per-site metrics for the whole run; the obs wal.forces counters must
+  // report the same forces the table rows are computed from.
+  obs::Observer observer;
+  observer.Install();
 
   struct Expected {
     CommitProtocol protocol;
@@ -37,6 +43,7 @@ void Run() {
   std::printf("%-18s %14s %14s %14s   (expected in parens)\n", "protocol",
               "msgs/worker", "coord forces", "worker forces");
   bool all_match = true;
+  int64_t log_forces_total = 0;  // per LogManager counters, whole run
   for (const Expected& e : rows) {
     ClusterOptions opt;
     opt.num_workers = 2;
@@ -84,9 +91,29 @@ void Run() {
                 CommitProtocolToString(e.protocol), (long long)msgs, e.msgs,
                 (long long)coord_fw, e.coord_fw, (long long)worker_fw,
                 e.worker_fw, match ? "MATCH" : "MISMATCH");
+
+    if (coord->log() != nullptr) log_forces_total += coord->log()->num_forces();
+    for (int w = 0; w < 2; ++w) {
+      if (cluster->worker(w)->log() != nullptr) {
+        log_forces_total += cluster->worker(w)->log()->num_forces();
+      }
+    }
   }
   std::printf("\n%s\n", all_match ? "All rows match Table 4.2."
                                   : "Some rows deviate from Table 4.2!");
+
+  // The metrics layer and the logs' own counters are two independent views
+  // of the same events; they must agree exactly.
+  int64_t obs_forces_total = 0;
+  for (SiteId site : observer.Sites()) {
+    obs_forces_total +=
+        observer.MetricsFor(site).counter(obs::CounterId::kWalForces).value();
+  }
+  std::printf("\nwal.forces (obs) = %lld, LogManager num_forces = %lld  %s\n",
+              (long long)obs_forces_total, (long long)log_forces_total,
+              obs_forces_total == log_forces_total ? "MATCH" : "MISMATCH");
+
+  std::printf("\nPer-site metrics:\n%s\n", observer.AllMetricsJson().c_str());
 }
 
 }  // namespace

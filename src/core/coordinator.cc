@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <future>
 
+#include "common/clock.h"
 #include "fault/fault_injector.h"
+#include "obs/observer.h"
 
 namespace harbor {
 
@@ -24,10 +26,11 @@ Status Coordinator::Start() {
   restart_epoch_++;
   if (CoordinatorLogs(options_.protocol)) {
     log_disk_ = std::make_unique<SimDisk>(
-        "coord" + std::to_string(options_.site_id) + "-log", options_.sim);
+        "coord" + std::to_string(options_.site_id) + "-log", options_.sim,
+        options_.site_id);
     HARBOR_ASSIGN_OR_RETURN(
         log_, LogManager::Open(options_.dir, log_disk_.get(),
-                               options_.group_commit));
+                               options_.group_commit, options_.site_id));
   }
   HARBOR_RETURN_NOT_OK(network_->RegisterSite(
       options_.site_id,
@@ -298,6 +301,9 @@ Status Coordinator::AbortWithWorkers(
     log_->Append(std::move(end));  // lazy write, not forced
   }
   aborted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(options_.site_id, obs::CounterId::kTxnAborted);
+  obs::Trace(options_.site_id, "coord.decision.abort", ct->id,
+             static_cast<int64_t>(prepared_sites.size()));
   ct->finished = true;
   EraseTxn(ct->id);
   return Status::Aborted("transaction aborted by commit protocol");
@@ -305,6 +311,9 @@ Status Coordinator::AbortWithWorkers(
 
 Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
   const std::vector<SiteId>& participants = ct->workers;
+  obs::Trace(options_.site_id, "coord.commit.begin", ct->id,
+             static_cast<int64_t>(participants.size()),
+             static_cast<int64_t>(options_.protocol));
   HARBOR_FAULT_POINT("coordinator.commit.begin", options_.site_id);
 
   if (options_.protocol == CommitProtocol::kOptimized1PC) {
@@ -316,9 +325,12 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    obs::Trace(options_.site_id, "coord.1pc.commit.send", ct->id,
+               static_cast<int64_t>(ts));
     Broadcast(participants, commit.Encode());
     authority_->EndCommit(ts, options_.site_id);
     committed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(options_.site_id, obs::CounterId::kTxnCommitted);
     ct->finished = true;
     EraseTxn(ct->id);
     return Status::OK();
@@ -326,6 +338,9 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
 
   // ---- Phase 1: PREPARE / vote collection (all other protocols) ----
   HARBOR_FAULT_POINT("coordinator.before_prepare", options_.site_id);
+  obs::Trace(options_.site_id, "coord.prepare.send", ct->id,
+             static_cast<int64_t>(participants.size()));
+  const int64_t vote_start_ns = obs::Enabled() ? NowNanos() : 0;
   PrepareMsg prepare;
   prepare.txn = ct->id;
   prepare.coordinator = options_.site_id;
@@ -356,6 +371,12 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
       all_yes = false;
     }
   }
+  if (obs::Enabled()) {
+    obs::Observe(options_.site_id, obs::HistogramId::kVoteRoundTripNs,
+                 NowNanos() - vote_start_ns);
+    obs::Trace(options_.site_id, "coord.votes.collected", ct->id,
+               static_cast<int64_t>(yes_sites.size()), all_yes ? 1 : 0);
+  }
   if (!all_yes) return AbortWithWorkers(ct, yes_sites);
   HARBOR_FAULT_POINT("coordinator.after_prepare", options_.site_id);
 
@@ -384,10 +405,15 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
       std::lock_guard<std::mutex> lock(unresolved_mu_);
       unresolved_[ct->id] = {true, ts};
     }
+    obs::Trace(options_.site_id, "coord.2pc.decision_logged", ct->id,
+               static_cast<int64_t>(ts));
     HARBOR_RETURN_NOT_OK(fault_point("coordinator.2pc.after_decision_logged"));
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    obs::Trace(options_.site_id, "coord.commit.send", ct->id,
+               static_cast<int64_t>(ts),
+               static_cast<int64_t>(yes_sites.size()));
     std::vector<Status> acks = Broadcast(yes_sites, commit.Encode());
     HARBOR_RETURN_NOT_OK(fault_point("coordinator.2pc.after_commit_send"));
     bool all_acked = true;
@@ -408,18 +434,27 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     ptc.type = MsgType::kPrepareToCommit;
     ptc.txn = ct->id;
     ptc.commit_ts = ts;
+    obs::Trace(options_.site_id, "coord.3pc.ptc.send", ct->id,
+               static_cast<int64_t>(ts),
+               static_cast<int64_t>(yes_sites.size()));
     Broadcast(yes_sites, ptc.Encode());
     HARBOR_RETURN_NOT_OK(fault_point("coordinator.3pc.after_ptc"));
     // All ACKs received: the commit point, with no forced write anywhere.
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    obs::Trace(options_.site_id, "coord.commit.send", ct->id,
+               static_cast<int64_t>(ts),
+               static_cast<int64_t>(yes_sites.size()));
     Broadcast(yes_sites, commit.Encode());
     HARBOR_RETURN_NOT_OK(fault_point("coordinator.3pc.after_commit_send"));
   }
 
   authority_->EndCommit(ts, options_.site_id);
   committed_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(options_.site_id, obs::CounterId::kTxnCommitted);
+  obs::Trace(options_.site_id, "coord.commit.done", ct->id,
+             static_cast<int64_t>(ts));
   ct->finished = true;
   EraseTxn(ct->id);
   return Status::OK();
@@ -433,9 +468,17 @@ Status Coordinator::Commit(TxnId txn) {
     // Read-only / empty transaction: nothing to agree on.
     EraseTxn(txn);
     committed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(options_.site_id, obs::CounterId::kTxnCommitted);
     return Status::OK();
   }
-  return RunCommitProtocol(ct);
+  if (!obs::Enabled()) return RunCommitProtocol(ct);
+  const int64_t start_ns = NowNanos();
+  Status st = RunCommitProtocol(ct);
+  if (st.ok()) {
+    obs::Observe(options_.site_id, obs::HistogramId::kCommitLatencyNs,
+                 NowNanos() - start_ns);
+  }
+  return st;
 }
 
 Status Coordinator::Abort(TxnId txn) {
@@ -450,6 +493,9 @@ Status Coordinator::Abort(TxnId txn) {
   }
   Broadcast(targets, abort.Encode());
   aborted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(options_.site_id, obs::CounterId::kTxnAborted);
+  obs::Trace(options_.site_id, "coord.abort", txn,
+             static_cast<int64_t>(targets.size()));
   ct->finished = true;
   EraseTxn(txn);
   return Status::OK();

@@ -8,6 +8,7 @@
 #include "core/messages.h"
 #include "exec/seq_scan.h"
 #include "fault/fault_injector.h"
+#include "obs/observer.h"
 
 namespace harbor {
 
@@ -71,6 +72,19 @@ Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
   }
 
   plan->stats.phase1_seconds = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    const SiteId self = worker_->site_id();
+    obs::Observe(self, obs::HistogramId::kRecoveryPhase1Ns,
+                 watch.ElapsedNanos());
+    obs::Count(self, obs::CounterId::kRecoveryPhase1Removed,
+               static_cast<int64_t>(plan->stats.phase1_removed));
+    obs::Count(self, obs::CounterId::kRecoveryPhase1Undeleted,
+               static_cast<int64_t>(plan->stats.phase1_undeleted));
+    obs::Trace(self, "recovery.phase1.done", 0,
+               static_cast<int64_t>(obj->object_id),
+               static_cast<int64_t>(plan->stats.phase1_removed +
+                                    plan->stats.phase1_undeleted));
+  }
   return Status::OK();
 }
 
@@ -197,9 +211,12 @@ Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
 
 Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
   TimestampAuthority* authority = worker_->authority();
+  Stopwatch watch;
   for (int round = 0; round < options_.max_phase2_rounds; ++round) {
     HARBOR_FAULT_POINT("recovery.phase2.round", worker_->site_id());
     const Timestamp hwm = authority->StableTime();
+    obs::Trace(worker_->site_id(), "recovery.phase2.round", 0, round + 1,
+               static_cast<int64_t>(hwm));
     if (hwm <= plan->checkpoint && round > 0) break;
     HARBOR_RETURN_NOT_OK(ComputeCover(plan));
     if (hwm > plan->checkpoint) {
@@ -221,6 +238,20 @@ Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
     // locked queries to be cheap.
     if (authority->StableTime() - hwm <= options_.phase2_lag_threshold) break;
   }
+  if (obs::Enabled()) {
+    const SiteId self = worker_->site_id();
+    obs::Observe(self, obs::HistogramId::kRecoveryPhase2Ns,
+                 watch.ElapsedNanos());
+    obs::Count(self, obs::CounterId::kRecoveryPhase2Tuples,
+               static_cast<int64_t>(plan->stats.phase2_tuples_copied));
+    obs::Count(self, obs::CounterId::kRecoveryPhase2Deletions,
+               static_cast<int64_t>(plan->stats.phase2_deletions_copied));
+    obs::SetGauge(self, obs::GaugeId::kRecoveryPhase2Rounds,
+                  plan->stats.phase2_rounds);
+    obs::Trace(self, "recovery.phase2.done", 0,
+               static_cast<int64_t>(plan->obj->object_id),
+               static_cast<int64_t>(plan->hwm));
+  }
   return Status::OK();
 }
 
@@ -231,6 +262,8 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   Stopwatch watch;
   Network* net = worker_->network();
   const SiteId self = worker_->site_id();
+  obs::Trace(self, "recovery.phase3.begin", 0,
+             static_cast<int64_t>(plans->size()));
 
   // Fresh covers (liveness may have changed since Phase 2).
   for (ObjectPlan& plan : *plans) {
@@ -355,6 +388,19 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   HARBOR_RETURN_NOT_OK(worker_->PromoteGlobalCheckpoint(checkpoint_time));
   worker_->liveness()->Set(self, SiteState::kOnline);
   *out_seconds = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    obs::Observe(self, obs::HistogramId::kRecoveryPhase3Ns,
+                 watch.ElapsedNanos());
+    int64_t tuples = 0;
+    int64_t deletions = 0;
+    for (const ObjectPlan& plan : *plans) {
+      tuples += static_cast<int64_t>(plan.stats.phase3_tuples_copied);
+      deletions += static_cast<int64_t>(plan.stats.phase3_deletions_copied);
+    }
+    obs::Count(self, obs::CounterId::kRecoveryPhase3Tuples, tuples);
+    obs::Count(self, obs::CounterId::kRecoveryPhase3Deletions, deletions);
+    obs::Trace(self, "recovery.phase3.done", 0, tuples, deletions);
+  }
   return Status::OK();
 }
 
@@ -371,6 +417,7 @@ Result<RecoveryStats> RecoveryManager::Recover() {
       break;
     }
     worker_->PauseCheckpoints(true);
+    obs::Trace(worker_->site_id(), "recovery.begin", 0, attempt + 1);
     RecoveryStats stats;
     Stopwatch total;
 
@@ -431,6 +478,8 @@ Result<RecoveryStats> RecoveryManager::Recover() {
     stats.phase3_seconds = phase3_seconds;
     stats.total_seconds = total.ElapsedSeconds();
     worker_->PauseCheckpoints(false);
+    obs::Trace(worker_->site_id(), "recovery.done", 0,
+               static_cast<int64_t>(stats.total_seconds * 1e9));
     return stats;
   }
   worker_->PauseCheckpoints(false);

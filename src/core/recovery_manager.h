@@ -18,7 +18,7 @@ struct RecoveryOptions {
   /// additional times before proceeding to Phase 3").
   Timestamp phase2_lag_threshold = 2;
   int max_phase2_rounds = 4;
-  /// Whole-recovery retattempts after a recovery-buddy failure (§5.5.2).
+  /// Whole-recovery retry attempts after a recovery-buddy failure (§5.5.2).
   int max_attempts = 3;
   /// Coordinator sites to notify with "coming online" (§5.4.2).
   std::vector<SiteId> coordinators;

@@ -5,6 +5,7 @@
 #include "exec/dml.h"
 #include "exec/seq_scan.h"
 #include "fault/fault_injector.h"
+#include "obs/observer.h"
 
 namespace harbor {
 
@@ -22,8 +23,9 @@ int64_t IntOf(const Value& v) {
 
 Worker::Runtime::Runtime(const WorkerOptions& options)
     : data_disk("site" + std::to_string(options.site_id) + "-data",
-                options.sim),
-      log_disk("site" + std::to_string(options.site_id) + "-log", options.sim),
+                options.sim, options.site_id),
+      log_disk("site" + std::to_string(options.site_id) + "-log", options.sim,
+               options.site_id),
       cpu(options.sim),
       fm(options.dir, &data_disk),
       catalog(&fm),
@@ -53,7 +55,8 @@ Status Worker::Start(SiteState target_state) {
   if (WorkerLogs(options_.protocol)) {
     HARBOR_ASSIGN_OR_RETURN(
         rt->log,
-        LogManager::Open(options_.dir, &rt->log_disk, options_.group_commit));
+        LogManager::Open(options_.dir, &rt->log_disk, options_.group_commit,
+                         options_.site_id));
   }
   rt->store = std::make_unique<VersionStore>(&rt->catalog, &rt->pool,
                                              &rt->locks, rt->log.get(),
@@ -363,10 +366,12 @@ Result<Message> Worker::HandlePrepare(const PrepareMsg& m) {
     HARBOR_RETURN_NOT_OK(rt->store->RollbackTransaction(txn.get()));
     rt->locks.ReleaseAll(txn->id);
     rt->txns.Erase(txn->id);
+    obs::Trace(options_.site_id, "worker.vote.no", m.txn);
     return VoteReply{false}.Encode();
   }
   txn->phase = TxnPhase::kPrepared;
   txn->voted_yes = true;
+  obs::Trace(options_.site_id, "worker.vote.yes", txn->id);
   if (rt->log != nullptr) {
     // Traditional 2PC / canonical 3PC: the PREPARE record is force-written
     // before the YES vote leaves the site (§4.3.1).
@@ -390,6 +395,8 @@ Result<Message> Worker::HandlePrepareToCommit(const CommitTsMsg& m) {
   std::lock_guard<std::mutex> guard(txn->mu);
   txn->phase = TxnPhase::kPreparedToCommit;
   txn->pending_commit_ts = m.commit_ts;
+  obs::Trace(options_.site_id, "worker.prepared_to_commit", m.txn,
+             static_cast<int64_t>(m.commit_ts));
   if (rt->log != nullptr && IsThreePhase(options_.protocol)) {
     // Canonical 3PC's middle forced write.
     LogRecord rec;
@@ -418,6 +425,8 @@ Status Worker::CommitLocally(TxnState* txn, Timestamp commit_ts) {
   rt->locks.ReleaseAll(txn->id);
   rt->txns.Erase(txn->id);
   commits_.fetch_add(1, std::memory_order_relaxed);
+  obs::Trace(options_.site_id, "worker.committed", txn->id,
+             static_cast<int64_t>(commit_ts));
   return Status::OK();
 }
 
@@ -435,6 +444,7 @@ Status Worker::AbortLocally(TxnState* txn) {
   }
   rt->locks.ReleaseAll(txn->id);
   rt->txns.Erase(txn->id);
+  obs::Trace(options_.site_id, "worker.aborted", txn->id);
   return Status::OK();
 }
 
@@ -566,6 +576,8 @@ void Worker::OnSiteCrash(SiteId crashed) {
 }
 
 void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
+  obs::Trace(options_.site_id, "worker.consensus.begin", txn_id,
+             static_cast<int64_t>(dead_coordinator));
   HARBOR_FAULT_HIT("worker.consensus", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr || !running_.load()) return;
@@ -624,6 +636,8 @@ void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
     }
   }
 
+  obs::Trace(options_.site_id, "worker.consensus.decision", txn_id,
+             must_commit ? 1 : 0, static_cast<int64_t>(alive.size()));
   if (must_commit) {
     for (SiteId p : alive) {
       if (p == options_.site_id) continue;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/observer.h"
+
 namespace harbor::fault {
 
 namespace internal {
@@ -233,6 +235,7 @@ void FaultInjector::RunCrash(SiteId target, CrashMode mode) {
 Status FaultInjector::OnPoint(const char* point, SiteId site, CrashMode mode) {
   PointFault spec;
   bool fire = false;
+  std::string description;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < schedule_.points.size(); ++i) {
@@ -246,12 +249,17 @@ Status FaultInjector::OnPoint(const char* point, SiteId site, CrashMode mode) {
       state.fired = true;
       fire = true;
       spec = candidate;
-      fired_.push_back(std::string(point) + "@site" + std::to_string(site) +
-                       " action=" + FaultActionName(candidate.action));
+      description = std::string(point) + "@site" + std::to_string(site) +
+                    " action=" + FaultActionName(candidate.action);
+      fired_.push_back(description);
       break;
     }
   }
   if (!fire) return Status::OK();
+  // The fired fault lands in the event trace so a failing chaos replay shows
+  // exactly where in the protocol timeline the fault hit.
+  obs::Count(site, obs::CounterId::kFaultsFired);
+  obs::TraceDetail(site, "fault.point", std::move(description));
   switch (spec.action) {
     case FaultAction::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
@@ -298,9 +306,15 @@ LinkDecision FaultInjector::OnMessage(SiteId from, SiteId to,
       default:
         break;
     }
-    fired_.push_back("link " + SiteToken(from) + "->" + SiteToken(to) +
-                     " type=" + std::to_string(msg_type) +
-                     " action=" + FaultActionName(spec.action));
+    std::string description = "link " + SiteToken(from) + "->" +
+                              SiteToken(to) + " type=" +
+                              std::to_string(msg_type) +
+                              " action=" + FaultActionName(spec.action);
+    fired_.push_back(description);
+    // Attributed to the sender: the receiver never sees a dropped message.
+    obs::Count(from, obs::CounterId::kFaultsFired);
+    obs::TraceDetail(from, "fault.link", std::move(description), 0,
+                     static_cast<int64_t>(to), msg_type);
   }
   return decision;
 }

@@ -69,8 +69,7 @@ Status LockManager::Acquire(LockKey key, LockOwnerId owner, LockMode mode) {
   // queueing behind strangers that conflict with it would self-deadlock.
   if (!upgrade) e.waiters.emplace_back(owner, mode);
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + default_timeout_;
+  const auto deadline = std::chrono::steady_clock::now() + default_timeout();
   auto can_proceed = [&] {
     if (shutdown_) return true;
     if (!CanGrantLocked(e, owner, mode)) return false;

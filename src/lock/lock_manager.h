@@ -1,6 +1,7 @@
 #ifndef HARBOR_LOCK_LOCK_MANAGER_H_
 #define HARBOR_LOCK_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -53,7 +54,7 @@ class LockManager {
  public:
   explicit LockManager(std::chrono::milliseconds default_timeout =
                            std::chrono::milliseconds(500))
-      : default_timeout_(default_timeout) {}
+      : default_timeout_ms_(default_timeout.count()) {}
 
   /// Acquires (or upgrades to) `mode` on a page; blocks until granted,
   /// timeout (=> deadlock victim), or site shutdown.
@@ -84,8 +85,14 @@ class LockManager {
   /// Number of distinct locked resources (for tests).
   size_t NumLockedResources();
 
+  /// Atomic: tests tighten the timeout while waiter threads are computing
+  /// deadlines from it (a plain member here is a TSan-visible data race).
   void set_default_timeout(std::chrono::milliseconds t) {
-    default_timeout_ = t;
+    default_timeout_ms_.store(t.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds default_timeout() const {
+    return std::chrono::milliseconds(
+        default_timeout_ms_.load(std::memory_order_relaxed));
   }
 
  private:
@@ -113,7 +120,7 @@ class LockManager {
   Status Acquire(LockKey key, LockOwnerId owner, LockMode mode);
   bool CanGrantLocked(Entry& e, LockOwnerId owner, LockMode mode);
 
-  std::chrono::milliseconds default_timeout_;
+  std::atomic<int64_t> default_timeout_ms_;
   std::mutex mu_;
   bool shutdown_ = false;
   std::unordered_map<LockKey, std::unique_ptr<Entry>, LockKeyHash> table_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "fault/fault_injector.h"
+#include "obs/observer.h"
 
 namespace harbor {
 
@@ -34,6 +35,13 @@ Status Network::RegisterSite(SiteId site, Handler handler, int num_threads) {
                                    " already registered and alive");
     }
     endpoints_[site] = ep;
+  }
+  // Under ep->mu so a concurrent CrashSite either sees all threads (and
+  // joins them) or none (and the registration fails cleanly below).
+  std::lock_guard<std::mutex> lock(ep->mu);
+  if (ep->stopping) {
+    return Status::Unavailable("site " + std::to_string(site) +
+                               " crashed during registration");
   }
   for (int i = 0; i < num_threads; ++i) {
     ep->threads.emplace_back([this, site, ep] { ServerLoop(site, ep); });
@@ -84,18 +92,35 @@ void Network::ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep) {
 void Network::CrashSite(SiteId site) {
   std::shared_ptr<Endpoint> ep = Find(site);
   if (ep == nullptr) return;
+  std::vector<std::thread> to_join;
   {
     std::unique_lock<std::mutex> lock(ep->mu);
-    if (!ep->alive && ep->threads.empty()) return;
+    if (ep->drained) return;  // already fully crashed
+    if (!ep->alive) {
+      // Another thread is mid-crash. Joining ep->threads from here too
+      // would double-join the same std::thread objects; instead wait for
+      // the crasher to finish so this call, like every CrashSite call,
+      // returns only once no handler is in flight.
+      ep->cv.wait(lock, [&] { return ep->drained; });
+      return;
+    }
     ep->alive = false;
     ep->stopping = true;
+    to_join.swap(ep->threads);
   }
   ep->cv.notify_all();
-  for (std::thread& t : ep->threads) {
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
-  ep->threads.clear();
+  {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    ep->drained = true;
+  }
+  ep->cv.notify_all();
+  obs::Trace(site, "net.crash");
 
+  // Only the transitioning crasher reaches this point, so subscribers fire
+  // exactly once per crash, after the drain.
   std::vector<std::function<void(SiteId)>> subs;
   {
     std::lock_guard<std::mutex> lock(mu_);

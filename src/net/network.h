@@ -64,6 +64,10 @@ class Network {
   /// handlers are drained (their blocking waits must be unblocked by the
   /// caller first, e.g. LockManager::Shutdown); crash subscribers fire.
   /// Must not be called from one of the site's own handler threads.
+  ///
+  /// Concurrent calls for the same site are safe: exactly one caller
+  /// performs the drain and fires the subscribers, and every call returns
+  /// only after the drain is complete (no handler still in flight).
   void CrashSite(SiteId site);
 
   bool IsAlive(SiteId site);
@@ -99,6 +103,7 @@ class Network {
     std::vector<std::thread> threads;
     bool alive = false;
     bool stopping = false;
+    bool drained = false;  // crash finished: threads joined, inbox failed
     int in_flight = 0;
   };
 

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <string>
+
+namespace harbor::obs {
+
+namespace {
+
+size_t BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  // bit_width(v): bucket i covers [2^(i-1), 2^i).
+  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(
+                         static_cast<unsigned long long>(value)));
+  return bits < Histogram::kNumBuckets ? bits : Histogram::kNumBuckets - 1;
+}
+
+void AtomicMin(std::atomic<int64_t>& target, int64_t value) {
+  int64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& target, int64_t value) {
+  int64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendKv(std::string* out, const char* key, int64_t value, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
+                static_cast<long long>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0 : static_cast<int64_t>(1) << (i - 1);
+}
+
+int64_t Histogram::PercentileUpperBound(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += static_cast<int64_t>(bucket(i));
+    if (seen >= rank) {
+      // Exclusive upper bound of bucket i is 2^i; clamp to observed max.
+      int64_t upper =
+          i >= 63 ? max() : (static_cast<int64_t>(1) << i);
+      return upper < max() ? upper : max();
+    }
+  }
+  return max();
+}
+
+const char* CounterName(CounterId id) {
+  switch (id) {
+    case CounterId::kDiskReads: return "disk.reads";
+    case CounterId::kDiskWrites: return "disk.writes";
+    case CounterId::kDiskForcedWrites: return "disk.forced_writes";
+    case CounterId::kNetMessagesSent: return "net.messages_sent";
+    case CounterId::kNetBytesSent: return "net.bytes_sent";
+    case CounterId::kWalForces: return "wal.forces";
+    case CounterId::kWalRecordsFlushed: return "wal.records_flushed";
+    case CounterId::kTxnCommitted: return "txn.committed";
+    case CounterId::kTxnAborted: return "txn.aborted";
+    case CounterId::kRecoveryPhase1Removed: return "recovery.phase1_removed";
+    case CounterId::kRecoveryPhase1Undeleted:
+      return "recovery.phase1_undeleted";
+    case CounterId::kRecoveryPhase2Tuples: return "recovery.phase2_tuples";
+    case CounterId::kRecoveryPhase2Deletions:
+      return "recovery.phase2_deletions";
+    case CounterId::kRecoveryPhase3Tuples: return "recovery.phase3_tuples";
+    case CounterId::kRecoveryPhase3Deletions:
+      return "recovery.phase3_deletions";
+    case CounterId::kFaultsFired: return "fault.fired";
+    case CounterId::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* GaugeName(GaugeId id) {
+  switch (id) {
+    case GaugeId::kWalFlushedLsn: return "wal.flushed_lsn";
+    case GaugeId::kRecoveryPhase2Rounds: return "recovery.phase2_rounds";
+    case GaugeId::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* HistogramName(HistogramId id) {
+  switch (id) {
+    case HistogramId::kDiskForceNs: return "disk.force_ns";
+    case HistogramId::kNetMessageBytes: return "net.message_bytes";
+    case HistogramId::kWalForceNs: return "wal.force_ns";
+    case HistogramId::kWalBatchRecords: return "wal.batch_records";
+    case HistogramId::kCommitLatencyNs: return "commit.latency_ns";
+    case HistogramId::kVoteRoundTripNs: return "commit.vote_round_trip_ns";
+    case HistogramId::kRecoveryPhase1Ns: return "recovery.phase1_ns";
+    case HistogramId::kRecoveryPhase2Ns: return "recovery.phase2_ns";
+    case HistogramId::kRecoveryPhase3Ns: return "recovery.phase3_ns";
+    case HistogramId::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string Metrics::ToJson(SiteId site) const {
+  std::string out;
+  out.reserve(512);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"site\":%u,\"counters\":{",
+                static_cast<unsigned>(site));
+  out.append(buf);
+  bool first = true;
+  for (size_t i = 0; i < static_cast<size_t>(CounterId::kCount); ++i) {
+    const auto id = static_cast<CounterId>(i);
+    const int64_t v = counter(id).value();
+    if (v != 0) AppendKv(&out, CounterName(id), v, &first);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (size_t i = 0; i < static_cast<size_t>(GaugeId::kCount); ++i) {
+    const auto id = static_cast<GaugeId>(i);
+    const int64_t v = gauge(id).value();
+    if (v != 0) AppendKv(&out, GaugeName(id), v, &first);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (size_t i = 0; i < static_cast<size_t>(HistogramId::kCount); ++i) {
+    const auto id = static_cast<HistogramId>(i);
+    const Histogram& h = histogram(id);
+    if (h.count() == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
+        "\"mean\":%.1f,\"p50\":%lld,\"p99\":%lld}",
+        HistogramName(id), static_cast<long long>(h.count()),
+        static_cast<long long>(h.sum()), static_cast<long long>(h.min()),
+        static_cast<long long>(h.max()), h.mean(),
+        static_cast<long long>(h.PercentileUpperBound(0.5)),
+        static_cast<long long>(h.PercentileUpperBound(0.99)));
+    out.append(buf);
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace harbor::obs

@@ -1,0 +1,155 @@
+#ifndef HARBOR_OBS_METRICS_H_
+#define HARBOR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace harbor::obs {
+
+/// \brief Lock-free metric primitives for one site.
+///
+/// The registry is a fixed enum-indexed array of atomics: recording a sample
+/// is an array index plus a relaxed atomic op, never a hash lookup or a
+/// mutex. Table 4.2 / Figures 6-4..6-6 are quantitative claims about forced
+/// writes, messages, and phase durations; these are the counters those
+/// numbers come from when an Observer is installed (see observer.h).
+
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with power-of-two bucket boundaries: sample v >= 0
+/// lands in bucket bit_width(v), i.e. bucket i covers [2^(i-1), 2^i). With
+/// 48 buckets a nanosecond-valued histogram spans sub-ns to ~39 hours, so
+/// one shape fits latencies, byte counts, and batch sizes alike.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 48;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// min/max over recorded samples; min() > max() when count() == 0.
+  int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const;
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static int64_t BucketLowerBound(size_t i);
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (0 < p <= 1); 0 when empty. Coarse by design — bucket resolution.
+  int64_t PercentileUpperBound(double p) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+};
+
+// ------------------------------------------------------------ registry ids
+
+enum class CounterId : uint8_t {
+  kDiskReads = 0,
+  kDiskWrites,
+  kDiskForcedWrites,      // every SimDisk::ChargeForcedWrite at this site
+  kNetMessagesSent,       // messages charged against this site's NIC
+  kNetBytesSent,
+  kWalForces,             // forced log writes issued by this site's WAL
+  kWalRecordsFlushed,     // records carried by those forces
+  kTxnCommitted,          // coordinator-side commit decisions
+  kTxnAborted,
+  kRecoveryPhase1Removed,  // tuples physically removed in Phase 1
+  kRecoveryPhase1Undeleted,
+  kRecoveryPhase2Tuples,   // tuples copied from buddies in Phase 2
+  kRecoveryPhase2Deletions,
+  kRecoveryPhase3Tuples,
+  kRecoveryPhase3Deletions,
+  kFaultsFired,            // fault points + link faults fired at this site
+  kCount,
+};
+
+enum class GaugeId : uint8_t {
+  kWalFlushedLsn = 0,      // durable LSN after the last force
+  kRecoveryPhase2Rounds,   // rounds used by the last recovered object
+  kCount,
+};
+
+enum class HistogramId : uint8_t {
+  kDiskForceNs = 0,        // modelled cost of each forced write
+  kNetMessageBytes,        // on-wire size of each sent message
+  kWalForceNs,             // wall latency of each log force
+  kWalBatchRecords,        // group-commit batch size per force
+  kCommitLatencyNs,        // coordinator commit-protocol latency per txn
+  kVoteRoundTripNs,        // PREPARE fan-out -> all votes collected
+  kRecoveryPhase1Ns,       // per recovered object
+  kRecoveryPhase2Ns,
+  kRecoveryPhase3Ns,       // whole locked phase (all objects at once)
+  kCount,
+};
+
+const char* CounterName(CounterId id);
+const char* GaugeName(GaugeId id);
+const char* HistogramName(HistogramId id);
+
+/// \brief One site's metric registry: every metric preallocated, recording
+/// is index + relaxed atomic.
+class Metrics {
+ public:
+  Counter& counter(CounterId id) {
+    return counters_[static_cast<size_t>(id)];
+  }
+  const Counter& counter(CounterId id) const {
+    return counters_[static_cast<size_t>(id)];
+  }
+  Gauge& gauge(GaugeId id) { return gauges_[static_cast<size_t>(id)]; }
+  const Gauge& gauge(GaugeId id) const {
+    return gauges_[static_cast<size_t>(id)];
+  }
+  Histogram& histogram(HistogramId id) {
+    return histograms_[static_cast<size_t>(id)];
+  }
+  const Histogram& histogram(HistogramId id) const {
+    return histograms_[static_cast<size_t>(id)];
+  }
+
+  /// JSON snapshot of every non-empty metric:
+  ///   {"site":N,"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  ///                          "mean":..,"p50":..,"p99":..}}}
+  std::string ToJson(SiteId site) const;
+
+ private:
+  std::array<Counter, static_cast<size_t>(CounterId::kCount)> counters_;
+  std::array<Gauge, static_cast<size_t>(GaugeId::kCount)> gauges_;
+  std::array<Histogram, static_cast<size_t>(HistogramId::kCount)> histograms_;
+};
+
+}  // namespace harbor::obs
+
+#endif  // HARBOR_OBS_METRICS_H_

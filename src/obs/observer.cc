@@ -1,0 +1,138 @@
+#include "obs/observer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace harbor::obs {
+
+namespace internal {
+std::atomic<Observer*> g_current{nullptr};
+}  // namespace internal
+
+Observer::Observer(size_t trace_capacity_per_site)
+    : trace_capacity_(trace_capacity_per_site) {}
+
+Observer::~Observer() { Uninstall(); }
+
+void Observer::Install() {
+  Observer* expected = nullptr;
+  internal::g_current.compare_exchange_strong(expected, this,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+}
+
+void Observer::Uninstall() {
+  Observer* expected = this;
+  internal::g_current.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed);
+}
+
+Observer::SiteObs& Observer::Shard(SiteId site) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it != sites_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = sites_[site];
+  if (!slot) slot = std::make_unique<SiteObs>(trace_capacity_);
+  return *slot;
+}
+
+const Observer::SiteObs* Observer::FindShard(SiteId site) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+Metrics& Observer::MetricsFor(SiteId site) { return Shard(site).metrics; }
+
+TraceRing& Observer::RingFor(SiteId site) { return Shard(site).ring; }
+
+void Observer::Trace(SiteId site, const char* kind, TxnId txn, int64_t a,
+                     int64_t b, std::string detail) {
+  TraceEvent event;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.nanos = NowNanos();
+  event.site = site;
+  event.txn = txn;
+  event.kind = kind;
+  event.a = a;
+  event.b = b;
+  event.detail = std::move(detail);
+  Shard(site).ring.Record(std::move(event));
+}
+
+std::vector<SiteId> Observer::Sites() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SiteId> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, shard] : sites_) out.push_back(site);
+  return out;
+}
+
+std::string Observer::MetricsJson(SiteId site) const {
+  const SiteObs* shard = FindShard(site);
+  if (!shard) {
+    return "{\"site\":" + std::to_string(site) + "}";
+  }
+  return shard->metrics.ToJson(site);
+}
+
+std::string Observer::AllMetricsJson() const {
+  std::string out;
+  for (SiteId site : Sites()) {
+    out.append(MetricsJson(site));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Observer::MergedTrace() const {
+  std::vector<TraceEvent> merged;
+  for (SiteId site : Sites()) {
+    const SiteObs* shard = FindShard(site);
+    if (!shard) continue;
+    auto events = shard->ring.Snapshot();
+    merged.insert(merged.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return merged;
+}
+
+std::string Observer::TraceToString() const {
+  auto merged = MergedTrace();
+  uint64_t dropped = 0;
+  for (SiteId site : Sites()) {
+    const SiteObs* shard = FindShard(site);
+    if (shard) dropped += shard->ring.dropped();
+  }
+  std::string out;
+  if (merged.empty()) {
+    out = "(no trace events recorded)\n";
+    return out;
+  }
+  const int64_t origin = merged.front().nanos;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "--- event trace (%zu events", merged.size());
+  out.append(buf);
+  if (dropped > 0) {
+    std::snprintf(buf, sizeof(buf), ", %llu dropped by ring overflow",
+                  static_cast<unsigned long long>(dropped));
+    out.append(buf);
+  }
+  out.append(") ---\n");
+  for (const auto& event : merged) {
+    out.append(FormatTraceEvent(event, origin));
+    out.push_back('\n');
+  }
+  out.append("--- end trace ---\n");
+  return out;
+}
+
+}  // namespace harbor::obs

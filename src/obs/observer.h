@@ -1,0 +1,136 @@
+#ifndef HARBOR_OBS_OBSERVER_H_
+#define HARBOR_OBS_OBSERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace harbor::obs {
+
+class Observer;
+
+namespace internal {
+/// The installed observer; null almost always. Instrumentation points
+/// reduce to one acquire load and an unlikely branch when nothing is
+/// installed — the same zero-cost pattern as FaultInjector's fault points.
+extern std::atomic<Observer*> g_current;
+}  // namespace internal
+
+/// \brief Process-wide metrics + trace sink, sharded per site.
+///
+/// At most one Observer is installed at a time (benches and tests install
+/// in scope, uninstall before teardown — declare the observer after the
+/// cluster so it is destroyed first, mirroring FaultInjector). Sites are
+/// lazily materialised on first record: site ids are sparse (workers at
+/// 1..N, extra coordinators at 1000+n), so storage is a shared_mutex-guarded
+/// map of per-site shards; the hot path is a shared-lock lookup plus relaxed
+/// atomics into that site's Metrics, or one short TraceRing critical
+/// section for protocol-rate trace events.
+class Observer {
+ public:
+  explicit Observer(size_t trace_capacity_per_site = 4096);
+  ~Observer();
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  void Install();
+  void Uninstall();
+
+  static Observer* Current() {
+    return internal::g_current.load(std::memory_order_acquire);
+  }
+
+  Metrics& MetricsFor(SiteId site);
+  TraceRing& RingFor(SiteId site);
+
+  void Trace(SiteId site, const char* kind, TxnId txn, int64_t a, int64_t b,
+             std::string detail = {});
+
+  /// Sites with any recorded metric or trace, ascending.
+  std::vector<SiteId> Sites() const;
+
+  /// JSON metrics snapshot for one site (see Metrics::ToJson).
+  std::string MetricsJson(SiteId site) const;
+  /// One JSON object per line, one line per site, ascending site order.
+  std::string AllMetricsJson() const;
+
+  /// All sites' trace events merged by global sequence number.
+  std::vector<TraceEvent> MergedTrace() const;
+  /// The merged trace formatted one event per line, timestamps relative to
+  /// the first event; notes total drops if any ring overflowed.
+  std::string TraceToString() const;
+
+ private:
+  struct SiteObs {
+    Metrics metrics;
+    TraceRing ring;
+    explicit SiteObs(size_t trace_capacity) : ring(trace_capacity) {}
+  };
+
+  SiteObs& Shard(SiteId site);
+  const SiteObs* FindShard(SiteId site) const;
+
+  const size_t trace_capacity_;
+  std::atomic<uint64_t> next_seq_{1};
+  mutable std::shared_mutex mu_;
+  std::map<SiteId, std::unique_ptr<SiteObs>> sites_;
+};
+
+// ------------------------------------------------------- inline fast paths
+//
+// All helpers are no-ops (one load + untaken branch) with no Observer
+// installed. `site` may be kInvalidSiteId for process-wide events.
+
+inline void Count(SiteId site, CounterId id, int64_t delta = 1) {
+  Observer* o = Observer::Current();
+  if (__builtin_expect(o != nullptr, 0)) {
+    o->MetricsFor(site).counter(id).Add(delta);
+  }
+}
+
+inline void SetGauge(SiteId site, GaugeId id, int64_t value) {
+  Observer* o = Observer::Current();
+  if (__builtin_expect(o != nullptr, 0)) {
+    o->MetricsFor(site).gauge(id).Set(value);
+  }
+}
+
+inline void Observe(SiteId site, HistogramId id, int64_t value) {
+  Observer* o = Observer::Current();
+  if (__builtin_expect(o != nullptr, 0)) {
+    o->MetricsFor(site).histogram(id).Record(value);
+  }
+}
+
+inline void Trace(SiteId site, const char* kind, TxnId txn = 0, int64_t a = 0,
+                  int64_t b = 0) {
+  Observer* o = Observer::Current();
+  if (__builtin_expect(o != nullptr, 0)) {
+    o->Trace(site, kind, txn, a, b);
+  }
+}
+
+inline void TraceDetail(SiteId site, const char* kind, std::string detail,
+                        TxnId txn = 0, int64_t a = 0, int64_t b = 0) {
+  Observer* o = Observer::Current();
+  if (__builtin_expect(o != nullptr, 0)) {
+    o->Trace(site, kind, txn, a, b, std::move(detail));
+  }
+}
+
+/// True only when an Observer is installed — gate timing work (NowNanos
+/// pairs) that would otherwise run for nothing.
+inline bool Enabled() { return Observer::Current() != nullptr; }
+
+}  // namespace harbor::obs
+
+#endif  // HARBOR_OBS_OBSERVER_H_

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/types.h"
+#include "obs/observer.h"
 #include "sim/sim_config.h"
 #include "sim/sim_device.h"
 
@@ -23,13 +25,20 @@ namespace harbor {
 /// do not seek against data-page traffic (§1.2, §6.2).
 class SimDisk {
  public:
-  SimDisk(std::string name, const SimConfig& config)
-      : config_(config), device_(std::move(name), config.enable_latency) {}
+  /// `site` attributes this disk's metrics to a site in the installed
+  /// obs::Observer; kInvalidSiteId (e.g. scratch disks in unit tests) still
+  /// records, under the invalid-site shard.
+  SimDisk(std::string name, const SimConfig& config,
+          SiteId site = kInvalidSiteId)
+      : config_(config),
+        device_(std::move(name), config.enable_latency),
+        site_(site) {}
 
   /// Charges a sequential read of `bytes` (e.g. a segment scan).
   void ChargeSequentialRead(int64_t bytes) {
     device_.Charge(TransferCost(bytes));
     reads_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(site_, obs::CounterId::kDiskReads);
   }
 
   /// Charges a random page read (seek + transfer), e.g. a buffer-pool miss
@@ -37,6 +46,7 @@ class SimDisk {
   void ChargeRandomRead(int64_t bytes) {
     device_.Charge(config_.disk_random_latency_ns + TransferCost(bytes));
     reads_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(site_, obs::CounterId::kDiskReads);
   }
 
   /// Charges an asynchronous (non-forced) write: transfer cost only, the OS
@@ -44,6 +54,7 @@ class SimDisk {
   void ChargeWrite(int64_t bytes) {
     device_.Charge(TransferCost(bytes));
     writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(site_, obs::CounterId::kDiskWrites);
   }
 
   /// Charges a synchronous forced write: full seek + rotational latency plus
@@ -51,8 +62,11 @@ class SimDisk {
   /// commit protocols eliminate. Group commit amortizes it by issuing a
   /// single ChargeForcedWrite for a whole batch of log records.
   void ChargeForcedWrite(int64_t bytes) {
-    device_.Charge(config_.disk_force_latency_ns + TransferCost(bytes));
+    const int64_t cost = config_.disk_force_latency_ns + TransferCost(bytes);
+    device_.Charge(cost);
     forced_writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(site_, obs::CounterId::kDiskForcedWrites);
+    obs::Observe(site_, obs::HistogramId::kDiskForceNs, cost);
   }
 
   int64_t num_reads() const { return reads_.load(std::memory_order_relaxed); }
@@ -77,6 +91,7 @@ class SimDisk {
 
   const SimConfig config_;
   SimDevice device_;
+  const SiteId site_;
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> writes_{0};
   std::atomic<int64_t> forced_writes_{0};

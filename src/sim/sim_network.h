@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "obs/observer.h"
 #include "sim/sim_config.h"
 #include "sim/sim_device.h"
 
@@ -31,6 +32,9 @@ class SimNetwork {
   void ChargeMessage(SiteId from, int64_t bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    obs::Count(from, obs::CounterId::kNetMessagesSent);
+    obs::Count(from, obs::CounterId::kNetBytesSent, bytes);
+    obs::Observe(from, obs::HistogramId::kNetMessageBytes, bytes);
     if (!config_.enable_latency) return;
     Nic(from).Charge(bytes * 1'000'000'000 /
                      config_.net_bandwidth_bytes_per_sec);

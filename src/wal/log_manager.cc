@@ -8,22 +8,26 @@
 #include <cstring>
 
 #include "common/byte_buffer.h"
+#include "common/clock.h"
+#include "obs/observer.h"
 
 namespace harbor {
 
 LogManager::LogManager(std::string path, int fd, SimDisk* disk,
-                       bool group_commit, uint64_t durable_bytes)
+                       bool group_commit, uint64_t durable_bytes, SiteId site)
     : path_(std::move(path)),
       fd_(fd),
       disk_(disk),
       group_commit_(group_commit),
+      site_(site),
       next_offset_(durable_bytes) {}
 
 LogManager::~LogManager() { ::close(fd_); }
 
 Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& dir,
                                                      SimDisk* disk,
-                                                     bool group_commit) {
+                                                     bool group_commit,
+                                                     SiteId site) {
   ::mkdir(dir.c_str(), 0755);
   const std::string path = dir + "/wal.log";
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
@@ -35,8 +39,9 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& dir,
     ::close(fd);
     return Status::IoError("fstat log: " + std::string(std::strerror(errno)));
   }
-  auto lm = std::unique_ptr<LogManager>(new LogManager(
-      path, fd, disk, group_commit, static_cast<uint64_t>(st.st_size)));
+  auto lm = std::unique_ptr<LogManager>(
+      new LogManager(path, fd, disk, group_commit,
+                     static_cast<uint64_t>(st.st_size), site));
   // Recover the LSN counters from the durable prefix.
   HARBOR_ASSIGN_OR_RETURN(auto records, lm->ReadAllDurable());
   Lsn last = records.empty() ? kInvalidLsn : records.back().lsn;
@@ -60,7 +65,7 @@ Lsn LogManager::Append(LogRecord record) {
   return lsn;
 }
 
-Status LogManager::WriteOut(std::vector<PendingRecord> batch) {
+Status LogManager::WriteOut(const std::vector<PendingRecord>& batch) {
   if (batch.empty()) return Status::OK();
   size_t total = 0;
   for (const auto& r : batch) total += r.bytes.size();
@@ -78,6 +83,12 @@ Status LogManager::WriteOut(std::vector<PendingRecord> batch) {
   return Status::OK();
 }
 
+void LogManager::RequeueFailedBatch(std::vector<PendingRecord> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.insert(pending_.begin(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+}
+
 Status LogManager::Flush(Lsn target) {
   if (target == kInvalidLsn) return Status::OK();
 
@@ -87,6 +98,7 @@ Status LogManager::Flush(Lsn target) {
     // be overlapped" (§6.3.1) — even if a concurrent force already pushed
     // the caller's bytes out, this caller still pays a full device force.
     std::lock_guard<std::mutex> serial(force_serial_mu_);
+    const int64_t start_ns = obs::Enabled() ? NowNanos() : 0;
     std::vector<PendingRecord> batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -97,7 +109,10 @@ Status LogManager::Flush(Lsn target) {
     }
     int64_t bytes = 0;
     for (const auto& r : batch) bytes += static_cast<int64_t>(r.bytes.size());
-    HARBOR_RETURN_NOT_OK(WriteOut(std::move(batch)));
+    if (Status st = WriteOut(batch); !st.ok()) {
+      RequeueFailedBatch(std::move(batch));
+      return st;
+    }
     if (disk_ != nullptr) disk_->ChargeForcedWrite(bytes);
     num_forces_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -105,18 +120,33 @@ Status LogManager::Flush(Lsn target) {
       if (flushed_lsn_.load() < target) flushed_lsn_ = target;
     }
     flushed_cv_.notify_all();
+    if (obs::Enabled()) {
+      const auto n = static_cast<int64_t>(batch.size());
+      obs::Count(site_, obs::CounterId::kWalForces);
+      obs::Count(site_, obs::CounterId::kWalRecordsFlushed, n);
+      obs::Observe(site_, obs::HistogramId::kWalBatchRecords, n);
+      obs::Observe(site_, obs::HistogramId::kWalForceNs,
+                   NowNanos() - start_ns);
+      obs::SetGauge(site_, obs::GaugeId::kWalFlushedLsn,
+                    static_cast<int64_t>(flushed_lsn_.load()));
+      obs::Trace(site_, "wal.force", 0, static_cast<int64_t>(target), n);
+    }
     return Status::OK();
   }
 
   std::unique_lock<std::mutex> lock(mu_);
   while (flushed_lsn_.load() < target) {
     if (flushing_) {
-      // A leader is writing; wait for it, then re-check.
+      // A leader is writing; wait for it, then re-check. The re-check is
+      // what guarantees force ordering: a waiter whose LSN rode in the
+      // leader's batch only returns after the leader completed the write
+      // and published flushed_lsn_ under mu_.
       flushed_cv_.wait(lock);
       continue;
     }
     // Become the leader: take everything pending so concurrent committers'
     // records ride along in a single forced write (group commit).
+    const int64_t start_ns = obs::Enabled() ? NowNanos() : 0;
     std::vector<PendingRecord> batch(
         std::make_move_iterator(pending_.begin()),
         std::make_move_iterator(pending_.end()));
@@ -127,17 +157,34 @@ Status LogManager::Flush(Lsn target) {
     const Lsn new_flushed = batch.back().lsn;
     flushing_ = true;
     lock.unlock();
-    Status st = WriteOut(std::move(batch));
+    Status st = WriteOut(batch);
     if (st.ok() && disk_ != nullptr) disk_->ChargeForcedWrite(bytes);
     if (st.ok()) num_forces_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     flushing_ = false;
     if (!st.ok()) {
+      // Put the unwritten records back (front: their LSNs precede any
+      // appends that arrived meanwhile) so a retry can still force them —
+      // otherwise the next Flush(target) would see nothing pending and
+      // report the lost records as durable.
+      pending_.insert(pending_.begin(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
       flushed_cv_.notify_all();
       return st;
     }
     flushed_lsn_ = new_flushed;
     flushed_cv_.notify_all();
+    if (obs::Enabled()) {
+      const auto n = static_cast<int64_t>(batch.size());
+      obs::Count(site_, obs::CounterId::kWalForces);
+      obs::Count(site_, obs::CounterId::kWalRecordsFlushed, n);
+      obs::Observe(site_, obs::HistogramId::kWalBatchRecords, n);
+      obs::Observe(site_, obs::HistogramId::kWalForceNs,
+                   NowNanos() - start_ns);
+      obs::SetGauge(site_, obs::GaugeId::kWalFlushedLsn,
+                    static_cast<int64_t>(new_flushed));
+      obs::Trace(site_, "wal.force", 0, static_cast<int64_t>(new_flushed), n);
+    }
   }
   return Status::OK();
 }

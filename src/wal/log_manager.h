@@ -34,10 +34,12 @@ namespace harbor {
 class LogManager {
  public:
   /// Opens (creating if needed) the log file `dir/wal.log`. `disk` models
-  /// the dedicated log disk and may be null in tests.
-  static Result<std::unique_ptr<LogManager>> Open(const std::string& dir,
-                                                  SimDisk* disk,
-                                                  bool group_commit);
+  /// the dedicated log disk and may be null in tests. `site` attributes this
+  /// log's metrics and trace events to a site in the installed
+  /// obs::Observer.
+  static Result<std::unique_ptr<LogManager>> Open(
+      const std::string& dir, SimDisk* disk, bool group_commit,
+      SiteId site = kInvalidSiteId);
   ~LogManager();
 
   LogManager(const LogManager&) = delete;
@@ -78,19 +80,27 @@ class LogManager {
 
  private:
   LogManager(std::string path, int fd, SimDisk* disk, bool group_commit,
-             uint64_t durable_bytes);
+             uint64_t durable_bytes, SiteId site);
 
   struct PendingRecord {
     Lsn lsn;
     std::vector<uint8_t> bytes;  // length-prefixed record
   };
 
-  Status WriteOut(std::vector<PendingRecord> batch);
+  /// Writes the batch at next_offset_, advancing it only on success so a
+  /// failed batch can be re-queued and retried at the same offset.
+  Status WriteOut(const std::vector<PendingRecord>& batch);
+  /// Re-queues a batch whose write failed. The batch's LSNs precede
+  /// everything appended since it was taken, so it goes back at the front —
+  /// dropping it would let a later Flush(target) find pending_ empty and
+  /// report the lost records as durable.
+  void RequeueFailedBatch(std::vector<PendingRecord> batch);
 
   const std::string path_;
   const int fd_;
   SimDisk* const disk_;
   const bool group_commit_;
+  const SiteId site_;
 
   std::mutex mu_;
   std::condition_variable flushed_cv_;

@@ -173,6 +173,11 @@ void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   SCOPED_TRACE("protocol=" + std::string(CommitProtocolToString(protocol)) +
                " schedule=\"" + schedule.ToString() + "\"");
 
+  // Record the protocol timeline (and every fired fault) so a failing
+  // replay prints an ordered event trace instead of a bare assertion.
+  obs::Observer observer;
+  observer.Install();
+
   ClusterOptions opt;
   opt.num_workers = 3;
   opt.protocol = protocol;
@@ -214,6 +219,10 @@ void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   Random rng(schedule.seed * 0x2545F4914F6CDD1DULL + 1);
 
   injector.Install();
+  // Declared after the observer: destroyed first, so a failed ASSERT_* on
+  // any path below dumps the merged trace while the observer is still
+  // installed.
+  test::TraceDumpOnFailure dump_on_failure;
   for (int op = 0; op < 40; ++op) {
     if (op % 6 == 5) {
       cluster->AdvanceEpoch();

@@ -248,12 +248,20 @@ std::set<int64_t> VisibleIds(Cluster* cluster, int w, Timestamp as_of) {
 }
 
 struct MatrixRig {
+  // Observer first / guard last: members destroy in reverse order, so on a
+  // failed assertion the guard dumps the merged trace while the observer
+  // (and the events recorded during the crash protocol) are still alive.
+  std::unique_ptr<obs::Observer> observer;
   std::unique_ptr<Cluster> cluster;
   TableId table = 0;
+  std::unique_ptr<test::TraceDumpOnFailure> dump_on_failure;
 };
 
 MatrixRig MakeMatrixRig(CommitProtocol protocol) {
   MatrixRig rig;
+  rig.observer = std::make_unique<obs::Observer>();
+  rig.observer->Install();
+  rig.dump_on_failure = std::make_unique<test::TraceDumpOnFailure>();
   ClusterOptions opt;
   opt.num_workers = 2;
   opt.protocol = protocol;
@@ -432,14 +440,19 @@ TEST(CoordinatorCrashMatrixTest, TwoPhaseCommittedSurvivesRestart) {
 // -------------------------------------------- §5.5: failures DURING recovery
 
 struct RecoveryRig {
+  std::unique_ptr<obs::Observer> observer;  // see MatrixRig on member order
   std::unique_ptr<Cluster> cluster;
   TableId table = 0;
+  std::unique_ptr<test::TraceDumpOnFailure> dump_on_failure;
 };
 
 // 3 workers, full replicas; rows 0..9 checkpointed everywhere, rows 10..19
 // committed while worker 0 is down (so its recovery has real work to do).
 RecoveryRig MakeRecoveryRig() {
   RecoveryRig rig;
+  rig.observer = std::make_unique<obs::Observer>();
+  rig.observer->Install();
+  rig.dump_on_failure = std::make_unique<test::TraceDumpOnFailure>();
   ClusterOptions opt;
   opt.num_workers = 3;
   opt.protocol = CommitProtocol::kOptimized3PC;

@@ -193,5 +193,38 @@ TEST(LockManagerTest, ManyConcurrentOwnersOnDisjointPages) {
   EXPECT_EQ(lm.NumLockedResources(), 0u);
 }
 
+// Regression test for a data race: set_default_timeout used to write a plain
+// std::chrono::milliseconds member that Acquire read without synchronization
+// while computing its wait deadline. Under TSan this test flags the old code;
+// with the atomic member it is clean. Conflicting lock requests force the
+// acquire path onto the deadline computation while the timeout keeps moving.
+TEST(LockManagerTest, SetDefaultTimeoutRacesWithAcquire) {
+  LockManager lm(std::chrono::milliseconds(5));
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    int64_t ms = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      lm.set_default_timeout(std::chrono::milliseconds(ms));
+      ms = ms % 8 + 1;
+    }
+  });
+  std::vector<std::thread> lockers;
+  for (int t = 0; t < 4; ++t) {
+    lockers.emplace_back([&, t] {
+      const LockOwnerId owner = static_cast<LockOwnerId>(t + 1);
+      for (int i = 0; i < 100; ++i) {
+        // All threads fight over the same page, so losers take the
+        // deadline-wait path that reads the default timeout.
+        (void)lm.AcquirePageLock(owner, kPage, LockMode::kExclusive);
+        lm.ReleaseAll(owner);
+      }
+    });
+  }
+  for (auto& t : lockers) t.join();
+  stop = true;
+  tuner.join();
+  EXPECT_EQ(lm.NumLockedResources(), 0u);
+}
+
 }  // namespace
 }  // namespace harbor

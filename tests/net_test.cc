@@ -131,5 +131,51 @@ TEST(NetworkTest, MessageStatsAccumulate) {
   EXPECT_EQ(net.num_messages() - before, 2);
 }
 
+// Regression test for the crash drain path: a CrashSite racing with another
+// CrashSite on the same endpoint used to return while the first caller was
+// still joining server threads, so "CrashSite returned" did not imply
+// "handlers drained". Now every CrashSite call — winner or loser — blocks
+// until the endpoint is fully drained, and the crash subscribers fire
+// exactly once.
+TEST(NetworkTest, ConcurrentCrashWaitsForDrain) {
+  for (int round = 0; round < 20; ++round) {
+    Network net(SimConfig::Zero());
+    std::atomic<bool> release{false};
+    std::atomic<int> in_flight{0};
+    ASSERT_OK(net.RegisterSite(1, [&](SiteId, const Message& m) {
+      in_flight++;
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      in_flight--;
+      return Result<Message>(m);
+    }, 2));
+    std::atomic<int> subscriber_fires{0};
+    net.SubscribeCrash([&](SiteId) {
+      // By the time subscribers run, no handler may still be executing.
+      EXPECT_EQ(in_flight.load(), 0);
+      subscriber_fires++;
+    });
+
+    auto f1 = net.CallAsync(0, 1, Ping(1, 1));
+    auto f2 = net.CallAsync(0, 1, Ping(1, 2));
+    while (in_flight.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    std::thread other_crasher([&] { net.CrashSite(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    release = true;
+    net.CrashSite(1);  // concurrent with other_crasher
+    // Both CrashSite calls have returned only once the drain completed.
+    EXPECT_EQ(in_flight.load(), 0);
+    EXPECT_FALSE(net.IsAlive(1));
+    other_crasher.join();
+    EXPECT_EQ(subscriber_fires.load(), 1);
+    f1.get();
+    f2.get();
+  }
+}
+
 }  // namespace
 }  // namespace harbor

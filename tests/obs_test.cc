@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace harbor {
+namespace {
+
+using obs::CounterId;
+using obs::GaugeId;
+using obs::Histogram;
+using obs::HistogramId;
+using obs::Metrics;
+using obs::Observer;
+using obs::TraceEvent;
+using obs::TraceRing;
+
+// ------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4);
+  EXPECT_EQ(Histogram::BucketLowerBound(10), 512);
+
+  Histogram h;
+  h.Record(0);   // bucket 0
+  h.Record(1);   // bucket 1: [1, 2)
+  h.Record(2);   // bucket 2: [2, 4)
+  h.Record(3);   // bucket 2
+  h.Record(4);   // bucket 3: [4, 8)
+  h.Record(7);   // bucket 3
+  h.Record(8);   // bucket 4: [8, 16)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.sum(), 25);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 8);
+}
+
+TEST(HistogramTest, NegativeAndHugeValuesClamp) {
+  Histogram h;
+  h.Record(-5);  // clamps into bucket 0
+  h.Record(std::numeric_limits<int64_t>::max());  // clamps into last bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(HistogramTest, PercentileUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 0);  // empty
+  for (int i = 0; i < 99; ++i) h.Record(3);   // bucket 2, upper bound 4
+  h.Record(1000);                             // bucket 10, clamps to max
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 4);
+  EXPECT_EQ(h.PercentileUpperBound(0.99), 4);
+  EXPECT_EQ(h.PercentileUpperBound(1.0), 1000);
+  EXPECT_NEAR(h.mean(), (99 * 3 + 1000) / 100.0, 1e-9);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 1024);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  uint64_t bucketed = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) bucketed += h.bucket(i);
+  EXPECT_EQ(bucketed, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1023);
+}
+
+// ------------------------------------------------------------ trace ring
+
+TEST(TraceRingTest, Wraparound) {
+  TraceRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    TraceEvent e;
+    e.seq = i;
+    e.kind = "test";
+    ring.Record(std::move(e));
+  }
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest events were overwritten; the last 4 remain, oldest first.
+  EXPECT_EQ(events[0].seq, 7u);
+  EXPECT_EQ(events[3].seq, 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+}
+
+TEST(TraceRingTest, SnapshotBeforeFull) {
+  TraceRing ring(8);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    TraceEvent e;
+    e.seq = i;
+    ring.Record(std::move(e));
+  }
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, ConcurrentRecordKeepsBound) {
+  TraceRing ring(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.kind = "spin";
+        ring.Record(std::move(e));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.Snapshot().size(), 64u);
+  EXPECT_EQ(ring.dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread - 64));
+}
+
+// -------------------------------------------------------------- observer
+
+TEST(ObserverTest, ZeroCostWhenNotInstalled) {
+  ASSERT_EQ(Observer::Current(), nullptr);
+  // These must all be no-ops, not crashes.
+  obs::Count(1, CounterId::kDiskForcedWrites);
+  obs::Observe(1, HistogramId::kCommitLatencyNs, 5);
+  obs::Trace(1, "noop");
+  EXPECT_FALSE(obs::Enabled());
+}
+
+TEST(ObserverTest, InstallUninstall) {
+  Observer o;
+  o.Install();
+  EXPECT_EQ(Observer::Current(), &o);
+  obs::Count(3, CounterId::kNetMessagesSent, 2);
+  EXPECT_EQ(o.MetricsFor(3).counter(CounterId::kNetMessagesSent).value(), 2);
+  o.Uninstall();
+  EXPECT_EQ(Observer::Current(), nullptr);
+}
+
+TEST(ObserverTest, SecondInstallDoesNotDisplaceFirst) {
+  Observer a;
+  Observer b;
+  a.Install();
+  b.Install();  // no-op: a stays installed
+  EXPECT_EQ(Observer::Current(), &a);
+  b.Uninstall();  // no-op: not the installed one
+  EXPECT_EQ(Observer::Current(), &a);
+  a.Uninstall();
+  EXPECT_EQ(Observer::Current(), nullptr);
+}
+
+TEST(ObserverTest, MergedTraceOrdersBySeqAcrossSites) {
+  Observer o;
+  o.Install();
+  obs::Trace(2, "b.first");
+  obs::Trace(1, "a.second");
+  obs::Trace(2, "b.third");
+  auto merged = o.MergedTrace();
+  o.Uninstall();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_STREQ(merged[0].kind, "b.first");
+  EXPECT_STREQ(merged[1].kind, "a.second");
+  EXPECT_STREQ(merged[2].kind, "b.third");
+  EXPECT_LT(merged[0].seq, merged[1].seq);
+  EXPECT_LT(merged[1].seq, merged[2].seq);
+}
+
+TEST(ObserverTest, ConcurrentRecordingAcrossSites) {
+  Observer o;
+  o.Install();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const SiteId site = static_cast<SiteId>(t % 3);
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::Count(site, CounterId::kDiskWrites);
+        obs::Observe(site, HistogramId::kNetMessageBytes, i);
+        if (i % 100 == 0) obs::Trace(site, "tick", 0, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t total = 0;
+  for (SiteId site : o.Sites()) {
+    total += o.MetricsFor(site).counter(CounterId::kDiskWrites).value();
+  }
+  o.Uninstall();
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(ObserverTest, TraceToStringFormatsMergedTimeline) {
+  Observer o;
+  o.Install();
+  EXPECT_NE(o.TraceToString().find("no trace events"), std::string::npos);
+  obs::Trace(1, "coord.prepare.send", 42);
+  obs::TraceDetail(2, "fault.point", "worker.prepare@site2 action=crash");
+  std::string dump = o.TraceToString();
+  o.Uninstall();
+  EXPECT_NE(dump.find("--- event trace (2 events) ---"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("coord.prepare.send"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("fault.point"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("worker.prepare@site2 action=crash"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("--- end trace ---"), std::string::npos) << dump;
+}
+
+TEST(ObserverTest, JsonSnapshotShape) {
+  Observer o;
+  o.Install();
+  obs::Count(7, CounterId::kWalForces, 3);
+  obs::SetGauge(7, GaugeId::kWalFlushedLsn, 41);
+  obs::Observe(7, HistogramId::kWalForceNs, 1000);
+  std::string json = o.MetricsJson(7);
+  o.Uninstall();
+  EXPECT_NE(json.find("\"site\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wal.forces\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wal.flushed_lsn\":41"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wal.force_ns\":{\"count\":1"), std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------- cluster integration
+
+// The forced-write metric must agree with the SimDisk counters the benches
+// already assert against (ISSUE 2 acceptance: the obs numbers and the
+// bench's existing numbers are the same numbers).
+TEST(ObserverClusterTest, ForcedWriteMetricMatchesSimDisk) {
+  Observer o;
+  o.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  opt.protocol = CommitProtocol::kTraditional2PC;
+  auto cluster_or = Cluster::Create(opt);
+  ASSERT_OK(cluster_or.status());
+  std::unique_ptr<Cluster> cluster = std::move(cluster_or).value();
+
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = test::SmallSchema();
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+
+  ASSERT_OK(cluster->coordinator()->InsertTxn(
+      table, test::SmallRow(1, 10, "alpha")));
+
+  for (int i = 0; i < cluster->num_workers(); ++i) {
+    Worker* w = cluster->worker(i);
+    const SiteId site = Cluster::WorkerSite(i);
+    const Metrics& m = o.MetricsFor(site);
+    EXPECT_EQ(m.counter(CounterId::kDiskForcedWrites).value(),
+              w->log_disk()->num_forced_writes() +
+                  w->data_disk()->num_forced_writes())
+        << "site " << site;
+    EXPECT_EQ(m.counter(CounterId::kWalForces).value(),
+              w->log()->num_forces())
+        << "site " << site;
+  }
+  // The 2PC coordinator forced its decision record.
+  const Metrics& cm = o.MetricsFor(cluster->coordinator()->site_id());
+  EXPECT_GE(cm.counter(CounterId::kDiskForcedWrites).value(), 1);
+  EXPECT_EQ(cm.counter(CounterId::kTxnCommitted).value(), 1);
+  EXPECT_EQ(cm.histogram(HistogramId::kCommitLatencyNs).count(), 1);
+
+  o.Uninstall();
+}
+
+}  // namespace
+}  // namespace harbor

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/observer.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 
@@ -76,6 +78,27 @@ inline std::vector<Value> SmallRow(int64_t id, int64_t qty,
                                    const std::string& name) {
   return {Value(id), Value(qty), Value(name)};
 }
+
+/// \brief Dumps the installed Observer's merged event trace to stderr if the
+/// current gtest test has failed by the time this guard is destroyed.
+///
+/// ASSERT_* macros return out of the enclosing function, so dump-on-failure
+/// must live in a destructor. Declare the guard AFTER installing the
+/// obs::Observer (and after the cluster, so the guard runs before either is
+/// torn down) — a failing chaos replay then prints the ordered protocol
+/// timeline including every fired fault point.
+class TraceDumpOnFailure {
+ public:
+  TraceDumpOnFailure() = default;
+  ~TraceDumpOnFailure() {
+    if (!::testing::Test::HasFailure()) return;
+    obs::Observer* o = obs::Observer::Current();
+    if (o == nullptr) return;
+    std::cerr << o->TraceToString();
+  }
+  TraceDumpOnFailure(const TraceDumpOnFailure&) = delete;
+  TraceDumpOnFailure& operator=(const TraceDumpOnFailure&) = delete;
+};
 
 }  // namespace harbor::test
 

@@ -199,5 +199,53 @@ TEST(LogManagerTest, DiscardUnflushedDropsTail) {
   EXPECT_EQ(log->Append(InsertRecord(1, 0, 2)), l1 + 1);
 }
 
+// Group-commit ordering contract: when Flush(target) returns OK, everything
+// up to `target` is durable — even when the caller was a waiter riding on
+// another thread's batch, and even when that leader's batch was formed
+// before this caller appended. Many threads hammer append+flush while each
+// one verifies the contract at every return; the per-force metrics recorded
+// under the installed Observer must agree with the log's own force counter.
+TEST(LogManagerTest, ConcurrentForcesRespectTargetOrdering) {
+  std::string dir = MakeTempDir("wal8");
+  SimDisk disk("log", SimConfig::Zero(), /*site=*/9);
+  obs::Observer o;
+  o.Install();
+  ASSERT_OK_AND_ASSIGN(auto log,
+                       LogManager::Open(dir, &disk, /*group_commit=*/true,
+                                        /*site=*/9));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Lsn lsn = log->Append(InsertRecord(static_cast<TxnId>(t + 1), 0,
+                                           static_cast<uint16_t>(i)));
+        HARBOR_CHECK_OK(log->Flush(lsn));
+        if (log->flushed_lsn() < lsn) violations++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(log->flushed_lsn(), kThreads * kPerThread);
+
+  // The observability layer saw every force the log performed: one
+  // wal.force_ns sample and one wal.forces count per actual forced write.
+  const obs::Metrics& m = o.MetricsFor(9);
+  EXPECT_EQ(m.counter(obs::CounterId::kWalForces).value(),
+            log->num_forces());
+  EXPECT_EQ(m.histogram(obs::HistogramId::kWalForceNs).count(),
+            log->num_forces());
+  EXPECT_EQ(m.counter(obs::CounterId::kWalRecordsFlushed).value(),
+            kThreads * kPerThread);
+  // Group commit means strictly fewer forces than flush calls.
+  EXPECT_LE(log->num_forces(), kThreads * kPerThread);
+  EXPECT_EQ(m.gauge(obs::GaugeId::kWalFlushedLsn).value(),
+            static_cast<int64_t>(log->flushed_lsn()));
+  o.Uninstall();
+}
+
 }  // namespace
 }  // namespace harbor
