@@ -5,9 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+#include <mutex>
+
 #include "buffer/buffer_pool.h"
 #include "exec/seq_scan.h"
 #include "lock/lock_manager.h"
+#include "sim/sim_disk.h"
 #include "storage/heap_page.h"
 #include "storage/local_catalog.h"
 #include "tests/test_util.h"
@@ -74,6 +79,173 @@ void BM_BufferPoolHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BufferPoolHit);
+
+// --------------------------------------------------------------------------
+// Multi-threaded buffer-pool benchmarks (threads x pool-size grid). These are
+// the numbers recorded in BENCH_buffer_pool.json: aggregate page-access
+// throughput when several site threads share one pool, with and without
+// modeled disk latency on the miss path. Run them with
+//   bench_micro --benchmark_filter=BufferPoolMT --benchmark_format=json
+
+struct MtPoolEnv {
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<FileManager> fm;
+  std::unique_ptr<BufferPool> pool;
+};
+
+/// Process-lifetime environment keyed by (tag, pool size); the first caller
+/// builds it. File pages are preallocated through a cost-model-free
+/// FileManager so setup I/O is never charged against the benchmark's disk.
+MtPoolEnv& MtEnv(const std::string& tag, size_t pool_pages, size_t file_pages,
+                 bool modeled_disk,
+                 EvictionPolicy eviction = EvictionPolicy::kRandom) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<MtPoolEnv>> envs;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& e = envs[tag + "/" + std::to_string(pool_pages)];
+  if (!e) {
+    e = std::make_unique<MtPoolEnv>();
+    std::string dir = BenchDir("mtpool");
+    {
+      FileManager setup(dir, nullptr);
+      HARBOR_CHECK_OK(setup.OpenOrCreate(1));
+      for (size_t i = 0; i < file_pages; ++i) {
+        HARBOR_CHECK_OK(setup.AllocatePage(1).status());
+      }
+    }
+    if (modeled_disk) {
+      // Scaled-down cost model (fast modern disk): the shape (miss >> hit)
+      // is what matters, the absolute seek time is shrunk so the grid
+      // finishes quickly.
+      SimConfig cfg;
+      cfg.disk_bandwidth_bytes_per_sec = 1'000'000'000;
+      cfg.disk_random_latency_ns = 15'000;
+      cfg.disk_force_latency_ns = 15'000;
+      e->disk = std::make_unique<SimDisk>("bench-mt-" + tag, cfg);
+    }
+    e->fm = std::make_unique<FileManager>(dir, e->disk.get());
+    HARBOR_CHECK_OK(e->fm->OpenOrCreate(1));
+    BufferPool::Options po;
+    po.eviction = eviction;
+    if (const char* sh = ::getenv("BENCH_SHARDS")) po.shards = atoi(sh);
+    e->pool = std::make_unique<BufferPool>(e->fm.get(), pool_pages, po);
+  }
+  return *e;
+}
+
+Random MtRng(const benchmark::State& state) {
+  return Random(Random::GlobalSeed() ^
+                (static_cast<uint64_t>(state.thread_index()) * 2654435761u));
+}
+
+/// The per-page "work" of a scan: touch every word, as a tuple scan would.
+uint64_t ChecksumPage(const uint8_t* data) {
+  uint64_t sum = 0;
+  for (size_t k = 0; k < kPageSize; k += sizeof(uint64_t)) {
+    uint64_t w;
+    std::memcpy(&w, data + k, sizeof(w));
+    sum += w;
+  }
+  return sum;
+}
+
+/// Pure hit-path scan: every thread reads pages of a resident hot set. This
+/// isolates the cost of pin/unpin and page-table lookup under concurrency.
+void BM_BufferPoolMTScanHot(benchmark::State& state) {
+  const size_t pool_pages = static_cast<size_t>(state.range(0));
+  const uint32_t hot = static_cast<uint32_t>(pool_pages / 2);
+  MtPoolEnv& env = MtEnv("hot", pool_pages, pool_pages, false);
+  Random rng = MtRng(state);
+  for (auto _ : state) {
+    PageId pid{1, static_cast<uint32_t>(rng.Uniform(hot))};
+    auto h = env.pool->GetPage(pid, /*sequential=*/true);
+    HARBOR_CHECK(h.ok());
+    PageLatchGuard latch(*h);
+    benchmark::DoNotOptimize(ChecksumPage(h->data()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMTScanHot)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Mixed scan: mostly hot hits plus an occasional cold read that misses and
+/// pays the modeled seek. With the single-mutex pool the miss's disk time is
+/// spent holding the global lock, so every hitting thread stalls behind it.
+void BM_BufferPoolMTScanMixed(benchmark::State& state) {
+  const size_t pool_pages = static_cast<size_t>(state.range(0));
+  const uint32_t hot = static_cast<uint32_t>(pool_pages / 2);
+  const uint32_t cold_lo = static_cast<uint32_t>(pool_pages * 2);
+  const uint32_t cold_n = 2048;
+  const bool lru = state.range(1) != 0;
+  MtPoolEnv& env =
+      MtEnv(lru ? "mixed-lru" : "mixed", pool_pages, cold_lo + cold_n, true,
+            lru ? EvictionPolicy::kLru : EvictionPolicy::kRandom);
+  Random rng = MtRng(state);
+  int64_t i = 0;
+  for (auto _ : state) {
+    const bool cold = (++i % 64) == 0;
+    const uint32_t page_no = cold
+                                 ? cold_lo + static_cast<uint32_t>(
+                                                 rng.Uniform(cold_n))
+                                 : static_cast<uint32_t>(rng.Uniform(hot));
+    auto h = env.pool->GetPage(PageId{1, page_no}, /*sequential=*/false);
+    HARBOR_CHECK(h.ok());
+    PageLatchGuard latch(*h);
+    benchmark::DoNotOptimize(ChecksumPage(h->data()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMTScanMixed)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Update mix: mostly hot-page writes (dirtying frames) plus an occasional
+/// cold read; evictions must steal dirty victims, so the flush write path
+/// (hooks + WritePage) runs continuously alongside foreground traffic.
+void BM_BufferPoolMTUpdate(benchmark::State& state) {
+  const size_t pool_pages = static_cast<size_t>(state.range(0));
+  const uint32_t hot = static_cast<uint32_t>(pool_pages / 2);
+  const uint32_t cold_lo = static_cast<uint32_t>(pool_pages * 2);
+  const uint32_t cold_n = 2048;
+  MtPoolEnv& env = MtEnv("update", pool_pages, cold_lo + cold_n, true);
+  Random rng = MtRng(state);
+  int64_t i = 0;
+  for (auto _ : state) {
+    const bool cold = (++i % 64) == 0;
+    if (cold) {
+      auto h = env.pool->GetPage(
+          PageId{1, cold_lo + static_cast<uint32_t>(rng.Uniform(cold_n))},
+          /*sequential=*/false);
+      HARBOR_CHECK(h.ok());
+      PageLatchGuard latch(*h);
+      benchmark::DoNotOptimize(h->data()[0]);
+    } else {
+      auto h = env.pool->GetPage(
+          PageId{1, static_cast<uint32_t>(rng.Uniform(hot))},
+          /*sequential=*/false);
+      HARBOR_CHECK(h.ok());
+      PageLatchGuard latch(*h);
+      h->data()[64] = static_cast<uint8_t>(i);
+      h->MarkDirty();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMTUpdate)
+    ->Arg(256)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 void BM_LockAcquireRelease(benchmark::State& state) {
   LockManager lm;

@@ -19,6 +19,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -85,6 +86,9 @@ Status Status::NotImplemented(std::string msg) {
 }
 Status Status::Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {

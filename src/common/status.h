@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnavailable,    // site crashed / connection closed (§5.5)
   kNotImplemented,
   kInternal,
+  kResourceExhausted,  // a bounded resource (e.g. buffer frames) ran out
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -58,6 +59,7 @@ class Status {
   static Status Unavailable(std::string msg);
   static Status NotImplemented(std::string msg);
   static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -74,6 +76,9 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// \brief Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

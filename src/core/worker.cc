@@ -29,7 +29,9 @@ Worker::Runtime::Runtime(const WorkerOptions& options)
       cpu(options.sim),
       fm(options.dir, &data_disk),
       catalog(&fm),
-      pool(&fm, options.buffer_pages),
+      pool(&fm, options.buffer_pages,
+           BufferPool::Options{.shards = options.buffer_shards,
+                               .site_id = options.site_id}),
       locks(options.lock_timeout) {}
 
 Worker::Worker(Network* network, GlobalCatalog* catalog,

@@ -37,6 +37,8 @@ struct WorkerOptions {
   CommitProtocol protocol = CommitProtocol::kOptimized3PC;
   bool group_commit = true;
   size_t buffer_pages = 8192;
+  /// Page-table shards in the buffer pool; 0 scales with buffer_pages.
+  size_t buffer_shards = 0;
   int server_threads = 8;
   std::chrono::milliseconds lock_timeout{500};
   /// Period of the background checkpointer (Fig 3-2 in HARBOR mode, fuzzy

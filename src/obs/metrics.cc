@@ -98,6 +98,11 @@ const char* CounterName(CounterId id) {
     case CounterId::kRecoveryPhase3Deletions:
       return "recovery.phase3_deletions";
     case CounterId::kFaultsFired: return "fault.fired";
+    case CounterId::kBufHits: return "buf.hits";
+    case CounterId::kBufMisses: return "buf.misses";
+    case CounterId::kBufEvictions: return "buf.evictions";
+    case CounterId::kBufDirtyVictimFlushes:
+      return "buf.dirty_victim_flushes";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -123,6 +128,8 @@ const char* HistogramName(HistogramId id) {
     case HistogramId::kRecoveryPhase1Ns: return "recovery.phase1_ns";
     case HistogramId::kRecoveryPhase2Ns: return "recovery.phase2_ns";
     case HistogramId::kRecoveryPhase3Ns: return "recovery.phase3_ns";
+    case HistogramId::kBufMissReadNs: return "buf.miss_read_ns";
+    case HistogramId::kBufShardLockWaitNs: return "buf.shard_lock_wait_ns";
     case HistogramId::kCount: break;
   }
   return "unknown";

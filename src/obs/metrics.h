@@ -91,6 +91,10 @@ enum class CounterId : uint8_t {
   kRecoveryPhase3Tuples,
   kRecoveryPhase3Deletions,
   kFaultsFired,            // fault points + link faults fired at this site
+  kBufHits,                // buffer pool page-table hits
+  kBufMisses,              // misses (each cost a disk read)
+  kBufEvictions,           // frames recycled to serve a miss
+  kBufDirtyVictimFlushes,  // evictions that had to steal a dirty page
   kCount,
 };
 
@@ -110,6 +114,8 @@ enum class HistogramId : uint8_t {
   kRecoveryPhase1Ns,       // per recovered object
   kRecoveryPhase2Ns,
   kRecoveryPhase3Ns,       // whole locked phase (all objects at once)
+  kBufMissReadNs,          // wall latency of each miss's disk read
+  kBufShardLockWaitNs,     // wall time spent acquiring a page-table shard
   kCount,
 };
 

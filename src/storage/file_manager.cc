@@ -24,7 +24,7 @@ std::string FileManager::PathFor(uint32_t file_id) const {
 }
 
 Status FileManager::OpenOrCreate(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (fds_.count(file_id)) return Status::OK();
   int fd = ::open(PathFor(file_id).c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
@@ -42,7 +42,7 @@ Status FileManager::OpenOrCreate(uint32_t file_id) {
 }
 
 Status FileManager::Delete(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = fds_.find(file_id);
   if (it != fds_.end()) {
     ::close(it->second);
@@ -56,7 +56,7 @@ Status FileManager::Delete(uint32_t file_id) {
 }
 
 Result<int> FileManager::Fd(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = fds_.find(file_id);
   if (it == fds_.end()) {
     return Status::NotFound("file " + std::to_string(file_id) + " not open");
@@ -94,7 +94,7 @@ Status FileManager::WritePage(PageId page, const uint8_t* data) {
 
 Result<uint32_t> FileManager::AllocatePage(uint32_t file_id) {
   HARBOR_ASSIGN_OR_RETURN(int fd, Fd(file_id));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint32_t page_no = sizes_[file_id];
   std::vector<uint8_t> zeros(kPageSize, 0);
   ssize_t n = ::pwrite(fd, zeros.data(), kPageSize,
@@ -108,7 +108,7 @@ Result<uint32_t> FileManager::AllocatePage(uint32_t file_id) {
 }
 
 Result<uint32_t> FileManager::NumPages(uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = sizes_.find(file_id);
   if (it == sizes_.end()) {
     return Status::NotFound("file " + std::to_string(file_id) + " not open");

@@ -2,7 +2,7 @@
 #define HARBOR_STORAGE_FILE_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -62,7 +62,10 @@ class FileManager {
 
   const std::string dir_;
   SimDisk* const disk_;
-  std::mutex mu_;
+  /// Reader-writer lock: page reads/writes from many pool threads only need
+  /// the shared side for the fd lookup; open/delete/allocate take it
+  /// exclusively. The pread/pwrite calls themselves run outside any lock.
+  std::shared_mutex mu_;
   std::unordered_map<uint32_t, int> fds_;        // guarded by mu_
   std::unordered_map<uint32_t, uint32_t> sizes_; // pages, guarded by mu_
 };

@@ -3,8 +3,10 @@
 #include <thread>
 #include <vector>
 
+#include "buffer/buffer_pool.h"
 #include "core/cluster.h"
 #include "obs/metrics.h"
+#include "storage/file_manager.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
@@ -251,6 +253,51 @@ TEST(ObserverTest, JsonSnapshotShape) {
 // The forced-write metric must agree with the SimDisk counters the benches
 // already assert against (ISSUE 2 acceptance: the obs numbers and the
 // bench's existing numbers are the same numbers).
+TEST(ObserverBufferPoolTest, PoolCountersMatchPoolAccounting) {
+  Observer o;
+  o.Install();
+  FileManager fm(test::MakeTempDir("obs-pool"), nullptr);
+  HARBOR_CHECK_OK(fm.OpenOrCreate(1));
+  for (int i = 0; i < 16; ++i) {
+    HARBOR_CHECK_OK(fm.AllocatePage(1).status());
+  }
+  BufferPool::Options popts;
+  popts.site_id = 5;
+  BufferPool pool(&fm, 4, popts);
+  // Three rounds of 16 dirtied pages through 4 frames: hits (within-round
+  // re-reads are rare, but rounds re-miss), misses, evictions, and
+  // dirty-victim flushes all fire.
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 16; ++p) {
+      auto h = pool.GetPage(PageId{1, p});
+      ASSERT_OK(h.status());
+      PageLatchGuard latch(*h);
+      h->data()[0] = static_cast<uint8_t>(p);
+      h->MarkDirty();
+    }
+  }
+  ASSERT_OK(pool.GetPage(PageId{1, 15}).status());  // guaranteed hit
+
+  // The obs registry must agree exactly with the pool's own accounting,
+  // attributed to the site the pool was built for.
+  const Metrics& m = o.MetricsFor(5);
+  EXPECT_EQ(m.counter(CounterId::kBufHits).value(), pool.hits());
+  EXPECT_EQ(m.counter(CounterId::kBufMisses).value(), pool.misses());
+  EXPECT_EQ(m.counter(CounterId::kBufEvictions).value(), pool.evictions());
+  EXPECT_EQ(m.counter(CounterId::kBufDirtyVictimFlushes).value(),
+            pool.dirty_victim_flushes());
+  EXPECT_GT(pool.hits(), 0);
+  EXPECT_GT(pool.misses(), 0);
+  EXPECT_GT(pool.evictions(), 0);
+  EXPECT_GT(pool.dirty_victim_flushes(), 0);
+  // One miss-read latency sample per miss; shard-lock waits are timed on
+  // every GetPage while an observer is installed.
+  EXPECT_EQ(m.histogram(HistogramId::kBufMissReadNs).count(), pool.misses());
+  EXPECT_GE(m.histogram(HistogramId::kBufShardLockWaitNs).count(),
+            pool.hits() + pool.misses());
+  o.Uninstall();
+}
+
 TEST(ObserverClusterTest, ForcedWriteMetricMatchesSimDisk) {
   Observer o;
   o.Install();
