@@ -9,9 +9,12 @@
 #include <map>
 #include <mutex>
 
+#include "bench/bench_util.h"
 #include "buffer/buffer_pool.h"
+#include "core/recovery_manager.h"
 #include "exec/seq_scan.h"
 #include "lock/lock_manager.h"
+#include "obs/observer.h"
 #include "sim/sim_disk.h"
 #include "storage/heap_page.h"
 #include "storage/local_catalog.h"
@@ -359,6 +362,80 @@ BENCHMARK_F(ScanFixture, SeqScanPrunedToLastSegment)(benchmark::State& state) {
     benchmark::DoNotOptimize(rows->size());
   }
 }
+
+// ---------------------------------------------------------------------
+// Recovery catch-up transfer: crash one of two replicas, bulk-load a
+// post-checkpoint delta into the survivor, and measure bringing the
+// crashed site back online. range(0) is the delta row count, range(1) the
+// streaming chunk size in tuples (0 = monolithic single-reply scans).
+// peak_reply_bytes is the largest scan-reply payload the recovering site
+// saw -- the quantity chunking bounds. Source of BENCH_recovery_stream.json:
+//   bench_micro --benchmark_filter=RecoveryStreamTransfer
+//               --benchmark_format=json
+void BM_RecoveryStreamTransfer(benchmark::State& state) {
+  const size_t delta_rows = static_cast<size_t>(state.range(0));
+  const size_t chunk = static_cast<size_t>(state.range(1));
+  int64_t peak_reply = 0;
+  int64_t chunks = 0;
+  for (auto _ : state) {
+    ClusterOptions opt;
+    opt.num_workers = 2;
+    opt.protocol = CommitProtocol::kOptimized3PC;
+    opt.sim = SimConfig::Zero();
+    auto cluster_r = Cluster::Create(opt);
+    HARBOR_CHECK_OK(cluster_r.status());
+    std::unique_ptr<Cluster> cluster = std::move(cluster_r).value();
+    TableId table = bench::MakeEvalTable(cluster.get(), "t", 16);
+    bench::Preload(cluster.get(), table, 5000, 1000);
+    cluster->AdvanceEpoch();
+    HARBOR_CHECK_OK(cluster->CheckpointAll());
+    const Timestamp ckpt = cluster->authority()->StableTime();
+    cluster->CrashWorker(1);
+    // The delta the survivor accumulated while the site was down.
+    std::vector<LoadRow> rows;
+    rows.reserve(delta_rows);
+    Timestamp max_ts = ckpt + 1;
+    for (size_t i = 0; i < delta_rows; ++i) {
+      LoadRow row;
+      row.tuple_id = (uint64_t{7} << 32) + i;
+      row.insertion_ts = ckpt + 1 + static_cast<Timestamp>(i / 500);
+      max_ts = std::max(max_ts, row.insertion_ts);
+      row.values = bench::EvalRow(static_cast<int32_t>(i));
+      rows.push_back(std::move(row));
+    }
+    HARBOR_CHECK_OK(cluster->BulkLoad(table, rows));
+    while (cluster->authority()->StableTime() <= max_ts) {
+      cluster->AdvanceEpoch();
+    }
+    obs::Observer observer;
+    observer.Install();
+    RecoveryOptions ropt;
+    ropt.stream_chunk_tuples = chunk;
+    Stopwatch watch;
+    auto stats = cluster->RecoverWorker(1, ropt);
+    state.SetIterationTime(watch.ElapsedSeconds());
+    HARBOR_CHECK_OK(stats.status());
+    HARBOR_CHECK((*stats).objects[0].phase2_tuples_copied +
+                     (*stats).objects[0].phase3_tuples_copied ==
+                 delta_rows);
+    const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(1));
+    const obs::Histogram& bytes =
+        m.histogram(obs::HistogramId::kRecoveryChunkBytes);
+    if (bytes.count() > 0) peak_reply = std::max(peak_reply, bytes.max());
+    chunks += m.counter(obs::CounterId::kRecoveryChunks).value();
+    observer.Uninstall();
+  }
+  state.counters["peak_reply_bytes"] = static_cast<double>(peak_reply);
+  state.counters["chunks_per_recovery"] =
+      benchmark::Counter(static_cast<double>(chunks),
+                         benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(delta_rows));
+}
+BENCHMARK(BM_RecoveryStreamTransfer)
+    ->ArgsProduct({{2000, 10000, 40000}, {0, 128, 512, 2048}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace harbor

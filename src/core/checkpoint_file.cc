@@ -12,7 +12,8 @@
 namespace harbor {
 
 namespace {
-constexpr uint32_t kMagic = 0x48524b50;  // "HRKP"
+constexpr uint32_t kMagicV1 = 0x48524b50;  // "HRKP": no resume section
+constexpr uint32_t kMagicV2 = 0x48524b32;  // "HRK2": + stream watermarks
 }  // namespace
 
 Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
@@ -32,7 +33,9 @@ Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
   ::close(fd);
   ByteBufferReader in(buf);
   HARBOR_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
-  if (magic != kMagic) return Status::Corruption("bad checkpoint magic");
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    return Status::Corruption("bad checkpoint magic");
+  }
   CheckpointRecord rec;
   HARBOR_ASSIGN_OR_RETURN(rec.global_time, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(uint32_t count, in.ReadU32());
@@ -41,18 +44,40 @@ Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
     HARBOR_ASSIGN_OR_RETURN(Timestamp t, in.ReadU64());
     rec.per_object[obj] = t;
   }
+  if (magic == kMagicV2) {
+    HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+    for (uint32_t i = 0; i < n; ++i) {
+      HARBOR_ASSIGN_OR_RETURN(ObjectId obj, in.ReadU32());
+      StreamResume r;
+      HARBOR_ASSIGN_OR_RETURN(r.round_hwm, in.ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(r.insertion_ts, in.ReadU64());
+      HARBOR_ASSIGN_OR_RETURN(r.tuple_id, in.ReadU64());
+      rec.resume[obj] = r;
+    }
+  }
   return rec;
 }
 
 Status WriteCheckpointRecord(const std::string& dir,
                              const CheckpointRecord& record) {
   ByteBufferWriter out;
-  out.WriteU32(kMagic);
+  // Records without watermarks stay on the V1 format so checkpoint files
+  // written by a normally-running site remain readable by older builds.
+  out.WriteU32(record.resume.empty() ? kMagicV1 : kMagicV2);
   out.WriteU64(record.global_time);
   out.WriteU32(static_cast<uint32_t>(record.per_object.size()));
   for (const auto& [obj, t] : record.per_object) {
     out.WriteU32(obj);
     out.WriteU64(t);
+  }
+  if (!record.resume.empty()) {
+    out.WriteU32(static_cast<uint32_t>(record.resume.size()));
+    for (const auto& [obj, r] : record.resume) {
+      out.WriteU32(obj);
+      out.WriteU64(r.round_hwm);
+      out.WriteU64(r.insertion_ts);
+      out.WriteU64(r.tuple_id);
+    }
   }
   const std::string path = dir + "/checkpoint.meta";
   const std::string tmp = path + ".tmp";

@@ -17,13 +17,38 @@ namespace harbor {
 /// checkpoints — objects recover at different rates, and a restart mid-
 /// recovery should resume each object from its own high-water mark (§5.3).
 /// The global time applies to any object without an override.
+/// Durable progress marker for an interrupted Phase-2 catch-up stream: the
+/// last chunk boundary whose tuples are known to be on disk. `round_hwm` is
+/// the historical snapshot the interrupted round was copying toward — a
+/// resumed round MUST reuse it, because a fresh (later) HWM would skip
+/// deletions of already-watermarked tuples that committed between the two
+/// snapshots. `(insertion_ts, tuple_id)` is the stream cursor: every version
+/// with key <= the cursor is durably applied; the resumed stream re-fetches
+/// strictly beyond it.
+struct StreamResume {
+  Timestamp round_hwm = 0;
+  Timestamp insertion_ts = 0;
+  TupleId tuple_id = 0;
+
+  bool operator==(const StreamResume&) const = default;
+};
+
 struct CheckpointRecord {
   Timestamp global_time = 0;
   std::unordered_map<ObjectId, Timestamp> per_object;
+  /// Mid-stream Phase-2 watermarks, keyed like per_object. An entry exists
+  /// only while that object's catch-up stream is interrupted; it is cleared
+  /// by the round's object checkpoint and by global-checkpoint promotion.
+  std::unordered_map<ObjectId, StreamResume> resume;
 
   Timestamp TimeFor(ObjectId object) const {
     auto it = per_object.find(object);
     return it == per_object.end() ? global_time : it->second;
+  }
+
+  const StreamResume* ResumeFor(ObjectId object) const {
+    auto it = resume.find(object);
+    return it == resume.end() ? nullptr : &it->second;
   }
 };
 

@@ -94,6 +94,10 @@ Message ScanMsg::Encode() const {
   out.WriteU64(owner);
   out.WriteBool(with_page_locks);
   out.WriteBool(minimal_projection);
+  out.WriteU32(max_tuples);
+  out.WriteBool(has_cursor);
+  out.WriteU64(cursor_insertion_ts);
+  out.WriteU64(cursor_tuple_id);
   return Wrap(MsgType::kScan, &out);
 }
 
@@ -104,6 +108,10 @@ Result<ScanMsg> ScanMsg::Decode(const Message& m) {
   HARBOR_ASSIGN_OR_RETURN(r.owner, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(r.with_page_locks, in.ReadBool());
   HARBOR_ASSIGN_OR_RETURN(r.minimal_projection, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.max_tuples, in.ReadU32());
+  HARBOR_ASSIGN_OR_RETURN(r.has_cursor, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.cursor_insertion_ts, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.cursor_tuple_id, in.ReadU64());
   return r;
 }
 
@@ -122,6 +130,9 @@ Message ScanReplyMsg::Encode() const {
     out.WriteU32(static_cast<uint32_t>(tuples.size()));
     for (const Tuple& t : tuples) t.Serialize(schema, &out);
   }
+  out.WriteBool(truncated);
+  out.WriteU64(last_insertion_ts);
+  out.WriteU64(last_tuple_id);
   return Wrap(MsgType::kScanReply, &out);
 }
 
@@ -148,6 +159,9 @@ Result<ScanReplyMsg> ScanReplyMsg::Decode(const Message& m) {
       r.tuples.push_back(std::move(t));
     }
   }
+  HARBOR_ASSIGN_OR_RETURN(r.truncated, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.last_insertion_ts, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.last_tuple_id, in.ReadU64());
   return r;
 }
 

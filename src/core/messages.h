@@ -90,11 +90,22 @@ struct TxnMsg {
 /// deletion queries of §5.3 and §5.4.1 need nothing more, which shrinks the
 /// transfer; the insertion time lets the recovering site prune its local
 /// UPDATE to the segments that can contain the matching versions.
+///
+/// `max_tuples` > 0 turns the scan into a bounded chunk request: the serving
+/// site returns at most ~max_tuples rows in (insertion_ts, tuple_id) order,
+/// starting strictly after the continuation cursor when `has_cursor` is set.
+/// Chunks never split a group of versions sharing one (insertion_ts,
+/// tuple_id) key, so a cursor always names a clean resume boundary (the
+/// reply may exceed max_tuples by the size of one such tie group).
 struct ScanMsg {
   ScanSpec spec;
   LockOwnerId owner = 0;
   bool with_page_locks = false;
   bool minimal_projection = false;
+  uint32_t max_tuples = 0;  // 0 = unbounded (single monolithic reply)
+  bool has_cursor = false;
+  Timestamp cursor_insertion_ts = 0;
+  TupleId cursor_tuple_id = 0;
 
   Message Encode() const;
   static Result<ScanMsg> Decode(const Message& m);
@@ -109,7 +120,10 @@ struct IdDeletion {
   bool operator==(const IdDeletion&) const = default;
 };
 
-/// kScanReply: materialized result set.
+/// kScanReply: materialized result set. For a chunked scan (`max_tuples` >
+/// 0 in the request) `truncated` says more qualifying rows remain and
+/// (last_insertion_ts, last_tuple_id) is the continuation cursor — the key
+/// of the last row shipped, to be echoed back in the next request.
 struct ScanReplyMsg {
   bool minimal = false;
   // Full mode: the executing object's physical schema plus tuples.
@@ -117,6 +131,10 @@ struct ScanReplyMsg {
   std::vector<Tuple> tuples;
   // Minimal mode: (tuple_id, deletion_time, insertion_time) triples.
   std::vector<IdDeletion> id_deletions;
+  // Chunked-scan continuation state.
+  bool truncated = false;
+  Timestamp last_insertion_ts = 0;
+  TupleId last_tuple_id = 0;
 
   Message Encode() const;
   static Result<ScanReplyMsg> Decode(const Message& m);

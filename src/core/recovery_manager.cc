@@ -38,20 +38,51 @@ Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
   TableObject* obj = plan->obj;
 
   // DELETE LOCALLY FROM rec SEE DELETED
-  //   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+  //   WHERE insertion_time > T_keep OR insertion_time = uncommitted
   // (the uncommitted sentinel is numerically > any checkpoint, §5.2).
+  // Normally T_keep is the object checkpoint; with a durable mid-stream
+  // watermark it is the watermark's insertion_ts — chunks applied and
+  // flushed before the previous attempt died stay, so the resumed stream
+  // does not re-copy them.
+  const bool resuming = plan->resume.has_value();
+  const Timestamp keep_through =
+      resuming ? plan->resume->insertion_ts : plan->checkpoint;
   {
     ScanSpec spec;
     spec.object_id = obj->object_id;
     spec.mode = ScanMode::kSeeDeleted;
     spec.has_insertion_after = true;
-    spec.insertion_after = plan->checkpoint;
+    spec.insertion_after = keep_through;
     SeqScanOperator scan(store, obj, std::move(spec));
     HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> victims, CollectAll(&scan));
     for (const Tuple& t : victims) {
       HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
     }
     plan->stats.phase1_removed = victims.size();
+  }
+
+  // The watermark names the last complete (insertion_ts, tuple_id) group:
+  // versions AT the watermark timestamp but with tuple ids beyond the
+  // cursor belong to later, possibly-unflushed chunks. Remove them so the
+  // resumed stream (which re-ships everything strictly past the cursor)
+  // cannot create duplicates.
+  if (resuming) {
+    ScanSpec spec;
+    spec.object_id = obj->object_id;
+    spec.mode = ScanMode::kSeeDeleted;
+    if (keep_through > 0) {
+      spec.has_insertion_after = true;
+      spec.insertion_after = keep_through - 1;
+    }
+    spec.has_insertion_at_or_before = true;
+    spec.insertion_at_or_before = keep_through;
+    SeqScanOperator scan(store, obj, std::move(spec));
+    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> boundary, CollectAll(&scan));
+    for (const Tuple& t : boundary) {
+      if (t.tuple_id() <= plan->resume->tuple_id) continue;
+      HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
+      plan->stats.phase1_removed++;
+    }
   }
 
   // UPDATE LOCALLY rec SET deletion_time = 0 SEE DELETED
@@ -90,74 +121,136 @@ Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
 
 // ------------------------------------------------------------- Phase 2
 
+Status RecoveryManager::StreamScan(
+    const RecoveryObject& piece, ScanMsg msg,
+    const std::function<Status(ScanReplyMsg&)>& apply) {
+  Network* net = worker_->network();
+  const SiteId self = worker_->site_id();
+  msg.max_tuples = static_cast<uint32_t>(options_.stream_chunk_tuples);
+  if (msg.max_tuples == 0) {
+    HARBOR_ASSIGN_OR_RETURN(Message reply,
+                            net->Call(self, piece.site, msg.Encode()));
+    if (obs::Enabled()) {
+      obs::Observe(self, obs::HistogramId::kRecoveryChunkBytes,
+                   reply.WireBytes());
+    }
+    HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(reply));
+    return apply(decoded);
+  }
+  // Double-buffered pipeline: while chunk N applies locally, chunk N+1 is
+  // already on the wire. Each reply carries the next cursor, so the fetch
+  // for N+1 can be issued before N is consumed.
+  std::future<Result<Message>> inflight =
+      net->CallAsync(self, piece.site, msg.Encode());
+  bool first = true;
+  while (true) {
+    const int64_t wait_start = obs::Enabled() ? NowNanos() : 0;
+    Result<Message> raw = inflight.get();
+    if (obs::Enabled() && !first) {
+      // Fetch wait not hidden behind the previous chunk's apply — 0 when
+      // the pipeline fully overlaps transfer with apply.
+      obs::Observe(self, obs::HistogramId::kRecoveryChunkStallNs,
+                   NowNanos() - wait_start);
+    }
+    first = false;
+    HARBOR_RETURN_NOT_OK(raw.status());
+    const int64_t wire_bytes = raw->WireBytes();
+    HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(*raw));
+    if (decoded.truncated) {
+      msg.has_cursor = true;
+      msg.cursor_insertion_ts = decoded.last_insertion_ts;
+      msg.cursor_tuple_id = decoded.last_tuple_id;
+      inflight = net->CallAsync(self, piece.site, msg.Encode());
+    }
+    if (obs::Enabled()) {
+      obs::Count(self, obs::CounterId::kRecoveryChunks);
+      obs::Observe(self, obs::HistogramId::kRecoveryChunkBytes, wire_bytes);
+      Stopwatch apply_watch;
+      HARBOR_RETURN_NOT_OK(apply(decoded));
+      obs::Observe(self, obs::HistogramId::kRecoveryChunkApplyNs,
+                   apply_watch.ElapsedNanos());
+    } else {
+      HARBOR_RETURN_NOT_OK(apply(decoded));
+    }
+    if (!decoded.truncated) return Status::OK();
+  }
+}
+
 Status RecoveryManager::ApplyRemoteDeletions(ObjectPlan* plan,
                                              const RecoveryObject& piece,
-                                             Timestamp from_exclusive,
+                                             Timestamp ins_at_or_before,
+                                             Timestamp del_after,
                                              Timestamp hwm, bool historical,
                                              size_t* copied) {
   // SELECT REMOTELY tuple_id, deletion_time FROM recovery_object
   //   SEE DELETED [HISTORICAL WITH TIME hwm]
-  //   WHERE recovery_predicate AND insertion_time <= from
+  //   WHERE recovery_predicate AND insertion_time <= ins_bound
   //     AND deletion_time > from
+  // The two bounds coincide except on a resumed round, where the insertion
+  // bound widens to the watermark so deletions of already-copied tuples
+  // (undone by Phase 1) are re-applied.
   ScanMsg scan;
   scan.spec.object_id = piece.object_id;
   scan.spec.mode = historical ? ScanMode::kSeeDeletedHistorical
                               : ScanMode::kSeeDeleted;
   scan.spec.as_of = hwm;
   scan.spec.has_insertion_at_or_before = true;
-  scan.spec.insertion_at_or_before = from_exclusive;
+  scan.spec.insertion_at_or_before = ins_at_or_before;
   scan.spec.has_deletion_after = true;
-  scan.spec.deletion_after = from_exclusive;
+  scan.spec.deletion_after = del_after;
   scan.spec.range = piece.predicate;
   scan.minimal_projection = true;
-  HARBOR_ASSIGN_OR_RETURN(
-      Message reply,
-      worker_->network()->Call(worker_->site_id(), piece.site,
-                               scan.Encode()));
-  HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(reply));
-
-  if (decoded.id_deletions.empty()) return Status::OK();
-
-  // UPDATE LOCALLY rec SET deletion_time = del_time
-  //   WHERE tuple_id = tup_id AND deletion_time = 0
-  // The matching local version shares the remote version's insertion time,
-  // so the scan below prunes to the segments whose insertion range covers
-  // the shipped timestamps — the local side of recovery pays per *affected
-  // historical segment*, exactly like the remote side (§6.4.2).
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
-  std::unordered_map<TupleId, Timestamp> wanted;
-  Timestamp lo = decoded.id_deletions.front().insertion_ts;
-  Timestamp hi = lo;
-  for (const IdDeletion& d : decoded.id_deletions) {
-    wanted.emplace(d.tuple_id, d.deletion_ts);
-    lo = std::min(lo, d.insertion_ts);
-    hi = std::max(hi, d.insertion_ts);
-  }
-  ScanSpec local;
-  local.object_id = obj->object_id;
-  local.mode = ScanMode::kSeeDeleted;
-  local.has_insertion_after = true;
-  local.insertion_after = lo - 1;
-  local.has_insertion_at_or_before = true;
-  local.insertion_at_or_before = hi;
-  SeqScanOperator local_scan(store, obj, std::move(local));
-  HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> candidates,
-                          CollectAll(&local_scan));
-  for (const Tuple& t : candidates) {
-    if (t.deletion_ts() != kNotDeleted) continue;  // older version
-    auto it = wanted.find(t.tuple_id());
-    if (it == wanted.end()) continue;
-    HARBOR_RETURN_NOT_OK(store->SetDeletionTs(obj, t.record_id(), it->second));
-    (*copied)++;
-  }
-  return Status::OK();
+  return StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
+    if (decoded.id_deletions.empty()) return Status::OK();
+
+    // UPDATE LOCALLY rec SET deletion_time = del_time
+    //   WHERE tuple_id = tup_id AND deletion_time = 0
+    // The matching local version shares the remote version's insertion
+    // time, so the scan below prunes to the segments whose insertion range
+    // covers the shipped timestamps — the local side of recovery pays per
+    // *affected historical segment*, exactly like the remote side (§6.4.2).
+    std::unordered_map<TupleId, Timestamp> wanted;
+    Timestamp lo = decoded.id_deletions.front().insertion_ts;
+    Timestamp hi = lo;
+    for (const IdDeletion& d : decoded.id_deletions) {
+      wanted.emplace(d.tuple_id, d.deletion_ts);
+      lo = std::min(lo, d.insertion_ts);
+      hi = std::max(hi, d.insertion_ts);
+    }
+    ScanSpec local;
+    local.object_id = obj->object_id;
+    local.mode = ScanMode::kSeeDeleted;
+    if (lo > 0) {
+      // lo == 0 must NOT set insertion_after = lo - 1: the uint64 wraps to
+      // UINT64_MAX and the scan silently matches nothing, dropping every
+      // shipped deletion.
+      local.has_insertion_after = true;
+      local.insertion_after = lo - 1;
+    }
+    local.has_insertion_at_or_before = true;
+    local.insertion_at_or_before = hi;
+    SeqScanOperator local_scan(store, obj, std::move(local));
+    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> candidates,
+                            CollectAll(&local_scan));
+    for (const Tuple& t : candidates) {
+      if (t.deletion_ts() != kNotDeleted) continue;  // older version
+      auto it = wanted.find(t.tuple_id());
+      if (it == wanted.end()) continue;
+      HARBOR_RETURN_NOT_OK(
+          store->SetDeletionTs(obj, t.record_id(), it->second));
+      (*copied)++;
+    }
+    return Status::OK();
+  });
 }
 
 Status RecoveryManager::CopyRemoteInsertions(ObjectPlan* plan,
                                              const RecoveryObject& piece,
                                              Timestamp from_exclusive,
                                              Timestamp hwm, bool historical,
+                                             bool durable_watermarks,
                                              size_t* copied) {
   // INSERT LOCALLY INTO rec
   //   (SELECT REMOTELY * FROM recovery_object SEE DELETED
@@ -173,36 +266,96 @@ Status RecoveryManager::CopyRemoteInsertions(ObjectPlan* plan,
   scan.spec.insertion_after = from_exclusive;
   scan.spec.exclude_uncommitted = !historical;  // §5.4.1's extra check
   scan.spec.range = piece.predicate;
-  HARBOR_ASSIGN_OR_RETURN(
-      Message reply,
-      worker_->network()->Call(worker_->site_id(), piece.site,
-                               scan.Encode()));
-  HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded, ScanReplyMsg::Decode(reply));
-
+  const SiteId self = worker_->site_id();
+  if (durable_watermarks && plan->resume.has_value()) {
+    // Resume the interrupted stream strictly past the durable watermark;
+    // Phase 1 kept everything at or below it.
+    scan.has_cursor = true;
+    scan.cursor_insertion_ts = plan->resume->insertion_ts;
+    scan.cursor_tuple_id = plan->resume->tuple_id;
+    obs::Count(self, obs::CounterId::kRecoveryStreamResumes);
+    obs::Trace(self, "recovery.stream.resume", 0,
+               static_cast<int64_t>(plan->obj->object_id),
+               static_cast<int64_t>(plan->resume->insertion_ts));
+  }
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
-  // Replicas may store columns in different orders; copy by name (§3.1).
-  HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
-                          obj->schema.MappingFrom(decoded.schema));
-  for (const Tuple& t : decoded.tuples) {
-    HARBOR_RETURN_NOT_OK(
-        store->InsertCommittedTuple(obj, t.RemapColumns(mapping)).status());
-    (*copied)++;
+  int chunks_since_mark = 0;
+  return StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
+    if (durable_watermarks) {
+      HARBOR_FAULT_POINT("recovery.phase2.chunk", self);
+    }
+    // Replicas may store columns in different orders; copy by name (§3.1).
+    HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                            obj->schema.MappingFrom(decoded.schema));
+    for (const Tuple& t : decoded.tuples) {
+      HARBOR_RETURN_NOT_OK(
+          store->InsertCommittedTuple(obj, t.RemapColumns(mapping)).status());
+      (*copied)++;
+    }
+    if (durable_watermarks && decoded.truncated && !decoded.tuples.empty() &&
+        options_.watermark_interval_chunks > 0 &&
+        ++chunks_since_mark >= options_.watermark_interval_chunks) {
+      chunks_since_mark = 0;
+      // Durability order: the copied pages must be on disk before the
+      // watermark that claims them — the chunk-granularity version of
+      // §5.3's checkpoint rule.
+      HARBOR_RETURN_NOT_OK(worker_->pool()->FlushAll());
+      HARBOR_RETURN_NOT_OK(obj->file->SyncHeaderIfDirty());
+      const StreamResume mark{hwm, decoded.last_insertion_ts,
+                              decoded.last_tuple_id};
+      HARBOR_RETURN_NOT_OK(worker_->WriteObjectResume(obj->object_id, mark));
+      plan->resume = mark;
+    }
+    return Status::OK();
+  });
+}
+
+Status RecoveryManager::DiscardResume(ObjectPlan* plan) {
+  // The watermark names a position in ONE buddy's key stream; with a
+  // multi-piece cover the pieces' key ranges interleave and the cursor is
+  // meaningless. Wipe the partially-copied range and restart the round
+  // from the object checkpoint.
+  VersionStore* store = worker_->store();
+  TableObject* obj = plan->obj;
+  ScanSpec spec;
+  spec.object_id = obj->object_id;
+  spec.mode = ScanMode::kSeeDeleted;
+  spec.has_insertion_after = true;
+  spec.insertion_after = plan->checkpoint;
+  spec.has_insertion_at_or_before = true;
+  spec.insertion_at_or_before = plan->resume->insertion_ts;
+  SeqScanOperator scan(store, obj, std::move(spec));
+  HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> victims, CollectAll(&scan));
+  for (const Tuple& t : victims) {
+    HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
   }
-  return Status::OK();
+  plan->resume.reset();
+  // Re-recording the unchanged checkpoint durably drops the resume entry.
+  return worker_->WriteObjectCheckpoint(obj->object_id, plan->checkpoint);
 }
 
 Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
+  const Timestamp from = plan->checkpoint;
+  const bool resuming = plan->resume.has_value();
+  // On a resumed round the deletion pass widens its insertion bound to the
+  // watermark: Phase 1 undid deletion times > checkpoint on the already-
+  // copied tuples, and the resumed insertion stream will not re-ship them.
+  const Timestamp del_ins_bound =
+      resuming ? std::max(from, plan->resume->insertion_ts) : from;
+  // A durable watermark is only meaningful for a single-piece cover (one
+  // stream, one cursor); multi-piece resumes were discarded by the caller.
+  const bool durable_watermarks = plan->cover.size() == 1;
   for (const RecoveryObject& piece : plan->cover) {
     Stopwatch del_watch;
     HARBOR_RETURN_NOT_OK(ApplyRemoteDeletions(
-        plan, piece, plan->checkpoint, hwm, /*historical=*/true,
+        plan, piece, del_ins_bound, from, hwm, /*historical=*/true,
         &plan->stats.phase2_deletions_copied));
     plan->stats.phase2_delete_seconds += del_watch.ElapsedSeconds();
 
     Stopwatch ins_watch;
     HARBOR_RETURN_NOT_OK(CopyRemoteInsertions(
-        plan, piece, plan->checkpoint, hwm, /*historical=*/true,
+        plan, piece, from, hwm, /*historical=*/true, durable_watermarks,
         &plan->stats.phase2_tuples_copied));
     plan->stats.phase2_insert_seconds += ins_watch.ElapsedSeconds();
   }
@@ -212,18 +365,34 @@ Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
 Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
   TimestampAuthority* authority = worker_->authority();
   Stopwatch watch;
+  int rounds_run = 0;
   for (int round = 0; round < options_.max_phase2_rounds; ++round) {
     HARBOR_FAULT_POINT("recovery.phase2.round", worker_->site_id());
-    const Timestamp hwm = authority->StableTime();
+    // A resumed round must replay against the interrupted round's snapshot:
+    // a fresh (later) HWM would skip deletions of already-watermarked
+    // tuples that committed between the two snapshots.
+    const bool resuming = plan->resume.has_value();
+    const Timestamp hwm =
+        resuming ? plan->resume->round_hwm : authority->StableTime();
     obs::Trace(worker_->site_id(), "recovery.phase2.round", 0, round + 1,
                static_cast<int64_t>(hwm));
-    if (hwm <= plan->checkpoint && round > 0) break;
-    HARBOR_RETURN_NOT_OK(ComputeCover(plan));
-    if (hwm > plan->checkpoint) {
-      HARBOR_RETURN_NOT_OK(RunPhase2Round(plan, hwm));
+    if (hwm <= plan->checkpoint && !resuming) {
+      // Nothing committed past the object checkpoint: no work to copy and
+      // nothing new to make durable, so skip the FlushAll + forced
+      // checkpoint write a no-progress round used to pay.
+      break;
     }
-    plan->stats.phase2_rounds = round + 1;
+    HARBOR_RETURN_NOT_OK(ComputeCover(plan));
+    if (resuming && plan->cover.size() != 1) {
+      HARBOR_RETURN_NOT_OK(DiscardResume(plan));
+      --round;  // the wiped round was not an attempt at this HWM
+      continue;
+    }
+    HARBOR_RETURN_NOT_OK(RunPhase2Round(plan, hwm));
+    plan->stats.phase2_rounds = ++rounds_run;
     plan->hwm = hwm;
+    plan->resume.reset();  // the round completed; the checkpoint write
+                           // below also clears the durable resume entry
     // rec is now consistent up to the HWM: flush and record an
     // object-granularity checkpoint so a crash during recovery resumes
     // from here (§5.3).
@@ -238,6 +407,8 @@ Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
     // locked queries to be cheap.
     if (authority->StableTime() - hwm <= options_.phase2_lag_threshold) break;
   }
+  plan->stats.phase2_seconds = watch.ElapsedSeconds();
+  plan->stats.hwm = plan->hwm;
   if (obs::Enabled()) {
     const SiteId self = worker_->site_id();
     obs::Observe(self, obs::HistogramId::kRecoveryPhase2Ns,
@@ -270,20 +441,47 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
     HARBOR_RETURN_NOT_OK(ComputeCover(&plan));
   }
 
+  // Test hook: a buddy dying exactly between cover computation and lock
+  // acquisition must be survivable *within this attempt* — the retry loop
+  // below recomputes covers. The injected status is deliberately dropped
+  // (a propagated error would restart the whole attempt and mask whether
+  // the loop itself recovers).
+  if (fault::FaultInjector* fi = fault::FaultInjector::Current()) {
+    (void)fi->OnPoint("recovery.phase3.cover_computed", self,
+                      fault::CrashMode::kSync);
+  }
+
   // Acquire a read lock on EVERY recovery object at once (§5.4.1), in a
   // global order to avoid deadlocks between concurrently recovering sites;
-  // retry until all are granted.
-  std::vector<std::pair<SiteId, ObjectId>> locks;
-  for (const ObjectPlan& plan : *plans) {
-    for (const RecoveryObject& piece : plan.cover) {
-      locks.emplace_back(piece.site, piece.object_id);
+  // retry until all are granted. A failed Call may mean the buddy died, so
+  // each retry recomputes the covers against current liveness and rebuilds
+  // the lock list — retrying the same dead site forever cannot succeed —
+  // and backs off exponentially to let lock contention drain.
+  auto build_locks = [plans] {
+    std::vector<std::pair<SiteId, ObjectId>> locks;
+    for (const ObjectPlan& plan : *plans) {
+      for (const RecoveryObject& piece : plan.cover) {
+        locks.emplace_back(piece.site, piece.object_id);
+      }
     }
-  }
-  std::sort(locks.begin(), locks.end());
-  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+    std::sort(locks.begin(), locks.end());
+    locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+    return locks;
+  };
+  std::vector<std::pair<SiteId, ObjectId>> locks = build_locks();
 
   Status acquired = Status::OK();
-  for (int attempt = 0; attempt < 30; ++attempt) {
+  int64_t backoff_ms = 1;
+  constexpr int kMaxLockAttempts = 12;
+  for (int attempt = 0; attempt < kMaxLockAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<int64_t>(backoff_ms * 2, 100);
+      for (ObjectPlan& plan : *plans) {
+        HARBOR_RETURN_NOT_OK(ComputeCover(&plan));
+      }
+      locks = build_locks();
+    }
     acquired = Status::OK();
     std::vector<std::pair<SiteId, ObjectId>> held;
     for (const auto& [site, object] : locks) {
@@ -306,7 +504,6 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
       msg.owner_site = self;
       (void)net->Call(self, site, msg.Encode());
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   HARBOR_RETURN_NOT_OK(acquired);
 
@@ -319,15 +516,20 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   // With the locks held no pending update transaction touching these
   // objects can commit; copy the final delta with ordinary (non-historical)
   // SEE DELETED queries (§5.4.1).
+  // The final delta streams in bounded chunks like Phase 2, but with no
+  // durable watermark: a failure here restarts the attempt, and Phase 1
+  // removes any partial Phase-3 copies (they sit past the object
+  // checkpoint).
   Status st = Status::OK();
   for (ObjectPlan& plan : *plans) {
     for (const RecoveryObject& piece : plan.cover) {
-      st = ApplyRemoteDeletions(&plan, piece, plan.hwm, 0,
+      st = ApplyRemoteDeletions(&plan, piece, plan.hwm, plan.hwm, 0,
                                 /*historical=*/false,
                                 &plan.stats.phase3_deletions_copied);
       if (!st.ok()) break;
       st = CopyRemoteInsertions(&plan, piece, plan.hwm, 0,
                                 /*historical=*/false,
+                                /*durable_watermarks=*/false,
                                 &plan.stats.phase3_tuples_copied);
       if (!st.ok()) break;
     }
@@ -428,6 +630,9 @@ Result<RecoveryStats> RecoveryManager::Recover() {
       plan.obj = obj;
       plan.checkpoint = ckpt.TimeFor(obj->object_id);
       plan.hwm = plan.checkpoint;
+      if (const StreamResume* r = ckpt.ResumeFor(obj->object_id)) {
+        plan.resume = *r;  // previous attempt died mid-stream (§5.5.2)
+      }
       plan.stats.object_id = obj->object_id;
       plans.push_back(std::move(plan));
     }
@@ -468,13 +673,20 @@ Result<RecoveryStats> RecoveryManager::Recover() {
     last = RunPhase3(&plans, &phase3_seconds);
     if (!last.ok()) continue;
 
+    const bool ran_parallel = options_.parallel && plans.size() > 1;
     for (const ObjectPlan& plan : plans) {
       stats.objects.push_back(plan.stats);
-      stats.phase1_seconds =
-          std::max(stats.phase1_seconds, plan.stats.phase1_seconds);
+      if (ran_parallel) {
+        stats.phase1_seconds =
+            std::max(stats.phase1_seconds, plan.stats.phase1_seconds);
+        stats.phase2_seconds =
+            std::max(stats.phase2_seconds, plan.stats.phase2_seconds);
+      } else {
+        stats.phase1_seconds += plan.stats.phase1_seconds;
+        stats.phase2_seconds += plan.stats.phase2_seconds;
+      }
     }
-    stats.phase2_seconds = offline_seconds - stats.phase1_seconds;
-    if (stats.phase2_seconds < 0) stats.phase2_seconds = 0;
+    stats.offline_seconds = offline_seconds;
     stats.phase3_seconds = phase3_seconds;
     stats.total_seconds = total.ElapsedSeconds();
     worker_->PauseCheckpoints(false);

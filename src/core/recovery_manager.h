@@ -1,6 +1,8 @@
 #ifndef HARBOR_CORE_RECOVERY_MANAGER_H_
 #define HARBOR_CORE_RECOVERY_MANAGER_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,15 @@ struct RecoveryOptions {
   int max_phase2_rounds = 4;
   /// Whole-recovery retry attempts after a recovery-buddy failure (§5.5.2).
   int max_attempts = 3;
+  /// Catch-up chunk size: remote phase-2/3 scans return at most ~this many
+  /// tuples per reply, fetched as a double-buffered pipeline (chunk N+1 is
+  /// in flight while chunk N applies). 0 = one monolithic reply per scan.
+  size_t stream_chunk_tuples = 512;
+  /// Advance the durable phase-2 resume watermark every N applied chunks,
+  /// so a buddy failure mid-stream resumes instead of re-copying the
+  /// object. Each advance costs a FlushAll + forced checkpoint write;
+  /// 0 disables mid-stream watermarks.
+  int watermark_interval_chunks = 8;
   /// Coordinator sites to notify with "coming online" (§5.4.2).
   std::vector<SiteId> coordinators;
 };
@@ -28,6 +39,7 @@ struct RecoveryOptions {
 struct ObjectRecoveryStats {
   ObjectId object_id = 0;
   double phase1_seconds = 0;
+  double phase2_seconds = 0;         // whole Phase 2 wall time, this object
   double phase2_delete_seconds = 0;  // SELECT + UPDATE of deletions (§5.3)
   double phase2_insert_seconds = 0;  // SELECT + INSERT of new tuples
   size_t phase1_removed = 0;
@@ -40,10 +52,17 @@ struct ObjectRecoveryStats {
   Timestamp hwm = 0;
 };
 
+/// Aggregate timings. phase1/phase2 are derived from the per-object
+/// measurements — max across objects when they recovered in parallel, sum
+/// when serial — while offline_seconds is the directly-measured wall time
+/// of phases 1+2 together (it bounds phase1+phase2 from above; the old code
+/// instead *defined* phase2 as offline minus max(phase1), which mixed
+/// per-object and aggregate clocks and went wrong under parallel recovery).
 struct RecoveryStats {
-  double phase1_seconds = 0;  // max across objects (parallel) or sum
+  double phase1_seconds = 0;
   double phase2_seconds = 0;
   double phase3_seconds = 0;
+  double offline_seconds = 0;  // measured wall time of phases 1+2
   double total_seconds = 0;
   std::vector<ObjectRecoveryStats> objects;
 };
@@ -77,6 +96,10 @@ class RecoveryManager {
     Timestamp checkpoint = 0;
     Timestamp hwm = 0;
     std::vector<RecoveryObject> cover;
+    /// Durable mid-stream watermark loaded from the checkpoint record: the
+    /// previous attempt died inside a Phase-2 catch-up stream and every
+    /// version key <= (insertion_ts, tuple_id) is already on disk.
+    std::optional<StreamResume> resume;
     ObjectRecoveryStats stats;
   };
 
@@ -86,12 +109,22 @@ class RecoveryManager {
   Status RunPhase3(std::vector<ObjectPlan>* plans, double* out_seconds);
 
   Status ComputeCover(ObjectPlan* plan);
+  /// Abandons an unresumable watermark: wipes the partially-copied range
+  /// (checkpoint, resume.insertion_ts] and durably clears the resume entry
+  /// so the round restarts cleanly from the object checkpoint.
+  Status DiscardResume(ObjectPlan* plan);
+  /// Runs one remote scan as a pipelined chunk stream: chunk N+1 is fetched
+  /// with CallAsync while `apply` consumes chunk N. With
+  /// stream_chunk_tuples == 0 this degenerates to one blocking Call.
+  Status StreamScan(const RecoveryObject& piece, ScanMsg msg,
+                    const std::function<Status(ScanReplyMsg&)>& apply);
   Status ApplyRemoteDeletions(ObjectPlan* plan, const RecoveryObject& piece,
-                              Timestamp from_exclusive, Timestamp hwm,
-                              bool historical, size_t* copied);
+                              Timestamp ins_at_or_before, Timestamp del_after,
+                              Timestamp hwm, bool historical, size_t* copied);
   Status CopyRemoteInsertions(ObjectPlan* plan, const RecoveryObject& piece,
                               Timestamp from_exclusive, Timestamp hwm,
-                              bool historical, size_t* copied);
+                              bool historical, bool durable_watermarks,
+                              size_t* copied);
 
   bool BuddyUsable(SiteId site) const;
 

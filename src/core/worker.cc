@@ -199,6 +199,19 @@ Status Worker::WriteObjectCheckpoint(ObjectId object, Timestamp t) {
   HARBOR_ASSIGN_OR_RETURN(CheckpointRecord rec,
                           ReadCheckpointRecord(options_.dir));
   rec.per_object[object] = t;
+  rec.resume.erase(object);
+  HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
+  rt->data_disk.ChargeForcedWrite(64);
+  return Status::OK();
+}
+
+Status Worker::WriteObjectResume(ObjectId object, const StreamResume& resume) {
+  Runtime* rt = rt_.get();
+  if (rt == nullptr) return Status::Unavailable("worker down");
+  std::lock_guard<std::mutex> file_lock(checkpoint_file_mu_);
+  HARBOR_ASSIGN_OR_RETURN(CheckpointRecord rec,
+                          ReadCheckpointRecord(options_.dir));
+  rec.resume[object] = resume;
   HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
   rt->data_disk.ChargeForcedWrite(64);
   return Status::OK();
@@ -488,11 +501,73 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
   if (rt == nullptr) return Status::Unavailable("worker down");
   HARBOR_ASSIGN_OR_RETURN(TableObject * obj,
                           rt->catalog.GetObject(m.spec.object_id));
-  SeqScanOperator scan(rt->store.get(), obj, m.spec, m.owner,
-                       m.with_page_locks ? ScanLocking::kPageLocks
-                                         : ScanLocking::kNone);
-  HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> tuples, CollectAll(&scan));
   ScanReplyMsg reply;
+  std::vector<Tuple> tuples;
+  if (m.max_tuples > 0) {
+    // Chunked recovery scan: serve one bounded chunk in (insertion_ts,
+    // tuple_id) order starting past the continuation cursor. The cursor's
+    // timestamp doubles as a segment-pruning bound — every remaining key
+    // has insertion_ts >= cursor_insertion_ts.
+    ScanSpec spec = m.spec;
+    if (m.has_cursor && m.cursor_insertion_ts > 0) {
+      const Timestamp bound = m.cursor_insertion_ts - 1;
+      if (!spec.has_insertion_after || spec.insertion_after < bound) {
+        spec.has_insertion_after = true;
+        spec.insertion_after = bound;
+      }
+    }
+    // Bounding the prefix alone leaves each chunk scanning the whole
+    // remaining suffix for its few smallest keys — quadratic across the
+    // stream. Restrict each attempt to a ts window above the cursor,
+    // widening geometrically while it comes up empty. A window that yields
+    // *anything* is served as-is with truncated=true: the cursor is an
+    // exact resume point, so a short chunk is merely a smaller step, never
+    // a correctness problem. Committed insertion timestamps never exceed
+    // the authority clock, which caps the widening when the spec carries
+    // no upper bound of its own.
+    const ScanCursor after{m.has_cursor, m.cursor_insertion_ts,
+                           m.cursor_tuple_id};
+    const Timestamp window_lo =
+        spec.has_insertion_after ? spec.insertion_after : 0;
+    const bool has_full_hi = spec.has_insertion_at_or_before;
+    const Timestamp hi_cap =
+        has_full_hi ? spec.insertion_at_or_before
+                    : std::max(window_lo, authority_->Now());
+    const ScanLocking locking = m.with_page_locks ? ScanLocking::kPageLocks
+                                                  : ScanLocking::kNone;
+    ScanChunk chunk;
+    bool final_window = false;
+    for (Timestamp width = 1; !final_window; width *= 2) {
+      ScanSpec attempt = spec;
+      final_window = hi_cap <= window_lo || width >= hi_cap - window_lo;
+      if (!final_window) {
+        attempt.has_insertion_at_or_before = true;
+        attempt.insertion_at_or_before = window_lo + width;
+      } else if (has_full_hi) {
+        attempt.has_insertion_at_or_before = true;
+        attempt.insertion_at_or_before = hi_cap;
+      }
+      SeqScanOperator scan(rt->store.get(), obj, std::move(attempt), m.owner,
+                           locking);
+      HARBOR_ASSIGN_OR_RETURN(
+          chunk, CollectChunkByInsertion(&scan, after, m.max_tuples));
+      if (!chunk.tuples.empty()) break;
+    }
+    if (!chunk.truncated && !final_window && !chunk.tuples.empty()) {
+      chunk.truncated = true;
+      chunk.last_insertion_ts = chunk.tuples.back().insertion_ts();
+      chunk.last_tuple_id = chunk.tuples.back().tuple_id();
+    }
+    tuples = std::move(chunk.tuples);
+    reply.truncated = chunk.truncated;
+    reply.last_insertion_ts = chunk.last_insertion_ts;
+    reply.last_tuple_id = chunk.last_tuple_id;
+  } else {
+    SeqScanOperator scan(rt->store.get(), obj, m.spec, m.owner,
+                         m.with_page_locks ? ScanLocking::kPageLocks
+                                           : ScanLocking::kNone);
+    HARBOR_ASSIGN_OR_RETURN(tuples, CollectAll(&scan));
+  }
   reply.minimal = m.minimal_projection;
   if (m.minimal_projection) {
     reply.id_deletions.reserve(tuples.size());

@@ -84,7 +84,13 @@ class Worker {
   // --- Checkpointing (Figure 3-2) ---
   Status WriteCheckpoint();
   Result<CheckpointRecord> LastCheckpoint() const;
+  /// Records `t` for `object` and clears any interrupted-stream watermark —
+  /// an object checkpoint means the round completed.
   Status WriteObjectCheckpoint(ObjectId object, Timestamp t);
+  /// Durably marks how far an interrupted Phase-2 catch-up stream got, so a
+  /// buddy failure mid-stream resumes from the watermark instead of
+  /// re-copying the object. Caller must have flushed the copied pages first.
+  Status WriteObjectResume(ObjectId object, const StreamResume& resume);
   /// Collapses per-object checkpoints into a single global time once
   /// recovery of all objects completes (§5.3).
   Status PromoteGlobalCheckpoint(Timestamp t);

@@ -1,5 +1,9 @@
 #include "exec/seq_scan.h"
 
+#include <iterator>
+#include <map>
+#include <utility>
+
 #include "storage/heap_page.h"
 
 namespace harbor {
@@ -223,6 +227,52 @@ Result<std::optional<Tuple>> SeqScanOperator::Next() {
   Tuple t = std::move(batch_.front());
   batch_.pop_front();
   return std::optional<Tuple>(std::move(t));
+}
+
+Result<ScanChunk> CollectChunkByInsertion(Operator* op, const ScanCursor& after,
+                                          size_t max_tuples) {
+  using Key = std::pair<Timestamp, TupleId>;
+  const Key floor{after.insertion_ts, after.tuple_id};
+  // The `max_tuples` smallest qualifying keys, plus any versions tied with
+  // the largest kept key: a tie group is only evicted wholesale, never
+  // split, so the chunk's last key is always a complete resume boundary.
+  std::multimap<Key, Tuple> best;
+  bool dropped = false;
+  HARBOR_RETURN_NOT_OK(op->Open());
+  while (true) {
+    HARBOR_ASSIGN_OR_RETURN(std::optional<Tuple> t, op->Next());
+    if (!t.has_value()) break;
+    const Key k{t->insertion_ts(), t->tuple_id()};
+    if (after.valid && k <= floor) continue;
+    if (max_tuples == 0 || best.size() < max_tuples) {
+      best.emplace(k, std::move(*t));
+      continue;
+    }
+    const Key max_key = best.rbegin()->first;
+    if (k > max_key) {
+      dropped = true;  // ranks beyond the chunk
+      continue;
+    }
+    best.emplace(k, std::move(*t));
+    // Evict the largest tie group if the chunk stays full without it.
+    auto group = best.equal_range(best.rbegin()->first);
+    const size_t group_size =
+        static_cast<size_t>(std::distance(group.first, group.second));
+    if (best.size() - group_size >= max_tuples) {
+      best.erase(group.first, group.second);
+      dropped = true;
+    }
+  }
+  ScanChunk chunk;
+  chunk.truncated = dropped;
+  chunk.tuples.reserve(best.size());
+  for (auto& [k, t] : best) chunk.tuples.push_back(std::move(t));
+  if (!chunk.tuples.empty()) {
+    const Tuple& last = chunk.tuples.back();
+    chunk.last_insertion_ts = last.insertion_ts();
+    chunk.last_tuple_id = last.tuple_id();
+  }
+  return chunk;
 }
 
 }  // namespace harbor

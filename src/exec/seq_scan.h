@@ -78,6 +78,35 @@ class SeqScanOperator : public Operator {
   size_t pages_visited_ = 0;
 };
 
+/// Continuation cursor for chunked recovery scans: a position in the strict
+/// (insertion_ts, tuple_id) order. `valid` false means "start from the
+/// beginning". The pair is replica-independent (record ids are not), so a
+/// stream interrupted on one buddy can resume against another.
+struct ScanCursor {
+  bool valid = false;
+  Timestamp insertion_ts = 0;
+  TupleId tuple_id = 0;
+};
+
+/// One bounded chunk of a scan, ordered by (insertion_ts, tuple_id).
+/// `truncated` means qualifying tuples with keys beyond `last_*` remain.
+struct ScanChunk {
+  std::vector<Tuple> tuples;
+  bool truncated = false;
+  Timestamp last_insertion_ts = 0;  // key of tuples.back() when non-empty
+  TupleId last_tuple_id = 0;
+};
+
+/// Drains `op` and keeps the `max_tuples` smallest (insertion_ts, tuple_id)
+/// keys strictly greater than `after`, in ascending order — O(max_tuples)
+/// memory regardless of how many tuples qualify. A chunk never ends in the
+/// middle of a group of versions sharing one key (an update re-inserting a
+/// tuple_id at its own commit time creates such groups), so the reply may
+/// exceed max_tuples by the tie group's size; this is what makes the cursor
+/// an exact resume point. max_tuples == 0 collects everything.
+Result<ScanChunk> CollectChunkByInsertion(Operator* op, const ScanCursor& after,
+                                          size_t max_tuples);
+
 }  // namespace harbor
 
 #endif  // HARBOR_EXEC_SEQ_SCAN_H_

@@ -97,6 +97,9 @@ const char* CounterName(CounterId id) {
     case CounterId::kRecoveryPhase3Tuples: return "recovery.phase3_tuples";
     case CounterId::kRecoveryPhase3Deletions:
       return "recovery.phase3_deletions";
+    case CounterId::kRecoveryChunks: return "recovery.chunks";
+    case CounterId::kRecoveryStreamResumes:
+      return "recovery.stream_resumes";
     case CounterId::kFaultsFired: return "fault.fired";
     case CounterId::kBufHits: return "buf.hits";
     case CounterId::kBufMisses: return "buf.misses";
@@ -128,6 +131,11 @@ const char* HistogramName(HistogramId id) {
     case HistogramId::kRecoveryPhase1Ns: return "recovery.phase1_ns";
     case HistogramId::kRecoveryPhase2Ns: return "recovery.phase2_ns";
     case HistogramId::kRecoveryPhase3Ns: return "recovery.phase3_ns";
+    case HistogramId::kRecoveryChunkBytes: return "recovery.chunk_bytes";
+    case HistogramId::kRecoveryChunkApplyNs:
+      return "recovery.chunk_apply_ns";
+    case HistogramId::kRecoveryChunkStallNs:
+      return "recovery.chunk_stall_ns";
     case HistogramId::kBufMissReadNs: return "buf.miss_read_ns";
     case HistogramId::kBufShardLockWaitNs: return "buf.shard_lock_wait_ns";
     case HistogramId::kCount: break;

@@ -90,6 +90,8 @@ enum class CounterId : uint8_t {
   kRecoveryPhase2Deletions,
   kRecoveryPhase3Tuples,
   kRecoveryPhase3Deletions,
+  kRecoveryChunks,         // catch-up chunks fetched by this recovering site
+  kRecoveryStreamResumes,  // streams resumed from a durable watermark
   kFaultsFired,            // fault points + link faults fired at this site
   kBufHits,                // buffer pool page-table hits
   kBufMisses,              // misses (each cost a disk read)
@@ -114,6 +116,9 @@ enum class HistogramId : uint8_t {
   kRecoveryPhase1Ns,       // per recovered object
   kRecoveryPhase2Ns,
   kRecoveryPhase3Ns,       // whole locked phase (all objects at once)
+  kRecoveryChunkBytes,     // on-wire size of each catch-up chunk reply
+  kRecoveryChunkApplyNs,   // local apply time per chunk
+  kRecoveryChunkStallNs,   // fetch wait not hidden behind the previous apply
   kBufMissReadNs,          // wall latency of each miss's disk read
   kBufShardLockWaitNs,     // wall time spent acquiring a page-table shard
   kCount,

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -151,6 +152,11 @@ std::vector<TableObject*> LocalCatalog::objects() {
   std::vector<TableObject*> out;
   out.reserve(objects_.size());
   for (const auto& [id, obj] : objects_) out.push_back(obj.get());
+  // Deterministic order: sites allocate object ids in the same table order,
+  // so sorting keeps objects()[k] naming the same logical table everywhere.
+  std::sort(out.begin(), out.end(), [](TableObject* a, TableObject* b) {
+    return a->object_id < b->object_id;
+  });
   return out;
 }
 

@@ -353,6 +353,76 @@ void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   }
 }
 
+// ----------------------------------------- targeted recovery-stream chaos
+
+// Kills the serving recovery buddy in the middle of a Phase 2 chunk stream.
+// The recovering site must fail the attempt, then resume from its durable
+// watermark against the *other* buddy — the (insertion_ts, tuple_id) cursor
+// is replica-independent — without duplicating or losing a single tuple.
+TEST(ChaosRecoveryStreamTest, BuddyCrashMidChunkStreamResumesFromWatermark) {
+  obs::Observer observer;
+  observer.Install();
+
+  ClusterOptions opt;
+  opt.num_workers = 3;
+  opt.protocol = CommitProtocol::kOptimized3PC;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 4;
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, {Value(int64_t{i}), Value(int64_t{i}),
+                                       Value("base")}));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 10; i < 130; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, {Value(int64_t{i}), Value(int64_t{i}),
+                                       Value("delta")}));
+  }
+  cluster->AdvanceEpoch();
+  cluster->CrashWorker(2);
+
+  // With buddies {worker 0, worker 1} alive, PlanCover picks worker 1 for
+  // table 1; the point's crash handler kills it on the fourth streamed
+  // chunk, after three watermark advances.
+  ChaosSchedule sched;
+  PointFault p;
+  p.point = "recovery.phase2.chunk";
+  p.site = Cluster::WorkerSite(2);
+  p.hit = 4;
+  sched.points.push_back(p);
+  FaultInjector injector(sched);
+  Cluster* raw = cluster.get();
+  injector.RegisterCrashHandler(Cluster::WorkerSite(2),
+                                [raw] { raw->CrashWorker(1); });
+  injector.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+
+  RecoveryOptions ropt;
+  ropt.stream_chunk_tuples = 8;
+  ropt.watermark_interval_chunks = 1;
+  ASSERT_OK(cluster->RecoverWorker(2, ropt).status());
+  injector.Uninstall();
+
+  const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(2));
+  EXPECT_GE(m.counter(obs::CounterId::kRecoveryStreamResumes).value(), 1)
+      << "the second attempt re-copied the object instead of resuming from "
+         "the durable watermark";
+
+  cluster->AdvanceEpoch();
+  const Timestamp now = cluster->authority()->StableTime();
+  std::map<int64_t, int64_t> reference = ReplicaRows(cluster.get(), 0, now);
+  EXPECT_EQ(reference.size(), 130u);
+  EXPECT_EQ(ReplicaRows(cluster.get(), 2, now), reference)
+      << "recovered replica diverges after the mid-stream buddy crash";
+}
+
 // ------------------------------------------------------------- the suites
 
 class ChaosScheduleTest : public ::testing::TestWithParam<uint64_t> {};

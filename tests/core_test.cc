@@ -93,6 +93,57 @@ TEST(MessagesTest, ScanReplyBothModes) {
   EXPECT_EQ(back.id_deletions[0], (IdDeletion{4, 7, 2}));
 }
 
+TEST(MessagesTest, ScanChunkFieldsRoundTrip) {
+  // Request side: chunk limit + continuation cursor.
+  ScanMsg req;
+  req.spec.object_id = 7;
+  req.spec.mode = ScanMode::kSeeDeletedHistorical;
+  req.spec.as_of = 99;
+  req.max_tuples = 512;
+  req.has_cursor = true;
+  req.cursor_insertion_ts = 41;
+  req.cursor_tuple_id = 1234;
+  ASSERT_OK_AND_ASSIGN(ScanMsg back, ScanMsg::Decode(req.Encode()));
+  EXPECT_EQ(back.max_tuples, 512u);
+  EXPECT_TRUE(back.has_cursor);
+  EXPECT_EQ(back.cursor_insertion_ts, 41u);
+  EXPECT_EQ(back.cursor_tuple_id, 1234u);
+
+  // Reply side: truncation flag + resume key, in both payload modes.
+  ScanReplyMsg full;
+  full.schema = SmallSchema();
+  Tuple t(test::SmallRow(1, 2, "x"));
+  t.set_tuple_id(9);
+  t.set_insertion_ts(3);
+  full.tuples.push_back(t);
+  full.truncated = true;
+  full.last_insertion_ts = 3;
+  full.last_tuple_id = 9;
+  ASSERT_OK_AND_ASSIGN(ScanReplyMsg reply, ScanReplyMsg::Decode(full.Encode()));
+  EXPECT_TRUE(reply.truncated);
+  EXPECT_EQ(reply.last_insertion_ts, 3u);
+  EXPECT_EQ(reply.last_tuple_id, 9u);
+
+  ScanReplyMsg minimal;
+  minimal.minimal = true;
+  minimal.id_deletions = {IdDeletion{4, 7, 2}};
+  minimal.truncated = true;
+  minimal.last_insertion_ts = 7;
+  minimal.last_tuple_id = 4;
+  ASSERT_OK_AND_ASSIGN(reply, ScanReplyMsg::Decode(minimal.Encode()));
+  EXPECT_TRUE(reply.truncated);
+  EXPECT_EQ(reply.last_insertion_ts, 7u);
+  EXPECT_EQ(reply.last_tuple_id, 4u);
+}
+
+TEST(MessagesTest, ScanDefaultsToMonolithicNoCursor) {
+  ScanMsg req;
+  req.spec.object_id = 1;
+  ASSERT_OK_AND_ASSIGN(ScanMsg back, ScanMsg::Decode(req.Encode()));
+  EXPECT_EQ(back.max_tuples, 0u);
+  EXPECT_FALSE(back.has_cursor);
+}
+
 TEST(MessagesTest, ComingOnlineRoundTrip) {
   ComingOnlineMsg m;
   m.site = 3;
@@ -228,6 +279,39 @@ TEST(CheckpointFileTest, RoundTripWithPerObjectOverrides) {
   EXPECT_EQ(back.global_time, 10u);
   EXPECT_EQ(back.TimeFor(3), 25u);  // per-object override
   EXPECT_EQ(back.TimeFor(4), 10u);  // falls back to global
+}
+
+TEST(CheckpointFileTest, StreamResumeRoundTrip) {
+  std::string dir = MakeTempDir("ckpt3");
+  CheckpointRecord rec;
+  rec.global_time = 10;
+  rec.per_object[3] = 25;
+  rec.resume[3] = StreamResume{40, 33, 777};
+  ASSERT_OK(WriteCheckpointRecord(dir, rec));
+  ASSERT_OK_AND_ASSIGN(CheckpointRecord back, ReadCheckpointRecord(dir));
+  ASSERT_NE(back.ResumeFor(3), nullptr);
+  EXPECT_EQ(*back.ResumeFor(3), (StreamResume{40, 33, 777}));
+  EXPECT_EQ(back.ResumeFor(4), nullptr);
+
+  // An object checkpoint means the interrupted round completed: rewriting
+  // without the watermark durably drops it AND returns to the V1 format.
+  back.resume.erase(3);
+  ASSERT_OK(WriteCheckpointRecord(dir, back));
+  ASSERT_OK_AND_ASSIGN(CheckpointRecord clean, ReadCheckpointRecord(dir));
+  EXPECT_EQ(clean.ResumeFor(3), nullptr);
+  EXPECT_EQ(clean.TimeFor(3), 25u);
+}
+
+TEST(CheckpointFileTest, ReadsV1FilesWrittenWithoutResumeSection) {
+  // A record with no watermarks must stay byte-identical to the pre-resume
+  // format (older builds read the files a normally-running site writes).
+  std::string dir = MakeTempDir("ckpt4");
+  CheckpointRecord rec;
+  rec.global_time = 5;
+  ASSERT_OK(WriteCheckpointRecord(dir, rec));
+  ASSERT_OK_AND_ASSIGN(CheckpointRecord back, ReadCheckpointRecord(dir));
+  EXPECT_EQ(back.global_time, 5u);
+  EXPECT_TRUE(back.resume.empty());
 }
 
 // ------------------------------------------------------------- liveness

@@ -232,6 +232,101 @@ TEST_F(ExecTest, RewindRestartsScan) {
   EXPECT_EQ(count, 5);
 }
 
+// ------------------------------------------------- chunked scan collection
+
+TEST_F(ExecTest, ScanChunkPagesThroughInAscendingKeyOrder) {
+  // Physical order deliberately scrambled relative to insertion time.
+  Load(5, 5, 9);
+  Load(1, 1, 2);
+  Load(4, 4, 7);
+  Load(2, 2, 3);
+  Load(3, 3, 5);
+
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  ScanCursor cursor;
+  std::vector<TupleId> seen;
+  int chunks = 0;
+  while (true) {
+    auto scan = Scan(spec);
+    ASSERT_OK_AND_ASSIGN(ScanChunk chunk,
+                         CollectChunkByInsertion(scan.get(), cursor, 2));
+    ++chunks;
+    Timestamp prev_ts = cursor.valid ? cursor.insertion_ts : 0;
+    for (const Tuple& t : chunk.tuples) {
+      EXPECT_GE(t.insertion_ts(), prev_ts);
+      prev_ts = t.insertion_ts();
+      seen.push_back(t.tuple_id());
+    }
+    if (!chunk.truncated) break;
+    EXPECT_EQ(chunk.tuples.size(), 2u);
+    EXPECT_EQ(chunk.last_insertion_ts, chunk.tuples.back().insertion_ts());
+    EXPECT_EQ(chunk.last_tuple_id, chunk.tuples.back().tuple_id());
+    cursor = ScanCursor{true, chunk.last_insertion_ts, chunk.last_tuple_id};
+  }
+  EXPECT_EQ(chunks, 3);
+  EXPECT_EQ(seen, (std::vector<TupleId>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(ExecTest, ScanChunkNeverSplitsAnInsertionKeyTieGroup) {
+  // Three versions sharing key (ins 5, tuple 2) — the shape a transaction
+  // re-updating its own insert produces. A chunk boundary inside the group
+  // would make the cursor resume mid-group and duplicate or lose versions.
+  Load(1, 1, 2);
+  Load(2, 2, 5, /*del=*/6, "v1");
+  Load(2, 2, 5, /*del=*/7, "v2");
+  Load(2, 2, 5, kNotDeleted, "v3");
+  Load(3, 3, 9);
+
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(ScanChunk first,
+                       CollectChunkByInsertion(scan.get(), ScanCursor{}, 2));
+  // The reply exceeds max_tuples rather than splitting the group.
+  ASSERT_EQ(first.tuples.size(), 4u);
+  EXPECT_TRUE(first.truncated);
+  EXPECT_EQ(first.last_insertion_ts, 5u);
+  EXPECT_EQ(first.last_tuple_id, 2u);
+
+  auto scan2 = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(
+      ScanChunk rest,
+      CollectChunkByInsertion(
+          scan2.get(), ScanCursor{true, first.last_insertion_ts,
+                                  first.last_tuple_id}, 2));
+  ASSERT_EQ(rest.tuples.size(), 1u);
+  EXPECT_EQ(rest.tuples[0].tuple_id(), 3u);
+  EXPECT_FALSE(rest.truncated);
+}
+
+TEST_F(ExecTest, ScanChunkZeroLimitCollectsEverything) {
+  for (int i = 0; i < 30; ++i) Load(static_cast<TupleId>(i), i, 1 + i);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(ScanChunk chunk,
+                       CollectChunkByInsertion(scan.get(), ScanCursor{}, 0));
+  EXPECT_EQ(chunk.tuples.size(), 30u);
+  EXPECT_FALSE(chunk.truncated);
+}
+
+TEST_F(ExecTest, ScanChunkCursorIsStrictlyExclusive) {
+  Load(1, 1, 3);
+  Load(2, 2, 3);  // same ts, higher tuple id
+  Load(3, 3, 4);
+  ScanSpec spec;
+  spec.mode = ScanMode::kSeeDeleted;
+  auto scan = Scan(spec);
+  ASSERT_OK_AND_ASSIGN(
+      ScanChunk chunk,
+      CollectChunkByInsertion(scan.get(), ScanCursor{true, 3, 1}, 10));
+  // Key (3,1) is consumed; (3,2) at the same timestamp is not.
+  ASSERT_EQ(chunk.tuples.size(), 2u);
+  EXPECT_EQ(chunk.tuples[0].tuple_id(), 2u);
+  EXPECT_EQ(chunk.tuples[1].tuple_id(), 3u);
+}
+
 // ---------------------------------------------------- relational operators
 
 TEST_F(ExecTest, FilterAndProject) {

@@ -13,6 +13,8 @@
 
 #include "core/cluster.h"
 #include "exec/seq_scan.h"
+#include "fault/fault_injector.h"
+#include "obs/observer.h"
 #include "tests/test_util.h"
 
 namespace harbor {
@@ -522,6 +524,351 @@ TEST(ConsensusTest, CrashedRecoveringSiteLocksAreReleased) {
   // The crash subscription released the dead site's locks; an update txn
   // can now commit on worker 0.
   ASSERT_OK(cluster->coordinator()->InsertTxn(table, SmallRow(2, 2, "y")));
+}
+
+// ---------------------------------------------------- streaming catch-up
+
+// Counts "recovery.begin" events in the merged trace — one per top-level
+// recovery attempt (§5.5.2 restarts bump it; same-attempt retries do not).
+int RecoveryAttempts(obs::Observer* o) {
+  int n = 0;
+  for (const obs::TraceEvent& e : o->MergedTrace()) {
+    if (std::string(e.kind) == "recovery.begin") ++n;
+  }
+  return n;
+}
+
+TEST(RecoveryStreamTest, ChunkedCatchUpBoundsReplySizes) {
+  obs::Observer observer;
+  observer.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 10; i < 170; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "delta")));
+  }
+  cluster->AdvanceEpoch();
+
+  cluster->CrashWorker(1);
+  RecoveryOptions opt;
+  opt.stream_chunk_tuples = 16;
+  ASSERT_OK_AND_ASSIGN(RecoveryStats stats, cluster->RecoverWorker(1, opt));
+  EXPECT_EQ(stats.objects[0].phase2_tuples_copied +
+                stats.objects[0].phase3_tuples_copied,
+            160u);
+
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+
+  // The 160-tuple delta must have arrived as many bounded replies, not one
+  // monolithic message: at least ceil(160/16) chunks for the insertion
+  // stream alone, and no single reply carrying the bulk of the bytes.
+  const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(1));
+  EXPECT_GE(m.counter(obs::CounterId::kRecoveryChunks).value(), 10);
+  const obs::Histogram& bytes =
+      m.histogram(obs::HistogramId::kRecoveryChunkBytes);
+  ASSERT_GT(bytes.count(), 0);
+  EXPECT_LT(bytes.max() * 4, bytes.sum())
+      << "one reply carried most of the transfer; chunking is not bounding "
+         "peak reply size";
+  observer.Uninstall();
+}
+
+TEST(RecoveryStreamTest, MonolithicPathStillSupported) {
+  obs::Observer observer;
+  observer.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 20; i < 60; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "delta")));
+  }
+  cluster->AdvanceEpoch();
+
+  cluster->CrashWorker(1);
+  RecoveryOptions opt;
+  opt.stream_chunk_tuples = 0;  // one blocking Call per scan
+  ASSERT_OK(cluster->RecoverWorker(1, opt).status());
+
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+  const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(1));
+  EXPECT_EQ(m.counter(obs::CounterId::kRecoveryChunks).value(), 0);
+  observer.Uninstall();
+}
+
+TEST(RecoveryStreamTest, ResumesFromDurableWatermarkAfterMidStreamFailure) {
+  obs::Observer observer;
+  observer.Install();
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  test::TraceDumpOnFailure dump_on_failure;
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 10; i < 130; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "delta")));
+  }
+  cluster->AdvanceEpoch();
+  cluster->CrashWorker(1);
+
+  // Kill attempt 1's catch-up stream on its fifth chunk. Chunks 1-4 were
+  // applied and (interval 1) each advanced the durable watermark, so
+  // attempt 2 must resume past chunk 4 instead of re-copying the object —
+  // and must not duplicate the tuples chunks 1-4 already landed.
+  fault::ChaosSchedule sched;
+  fault::PointFault p;
+  p.point = "recovery.phase2.chunk";
+  p.site = Cluster::WorkerSite(1);
+  p.hit = 5;
+  p.action = fault::FaultAction::kError;
+  sched.points.push_back(p);
+  fault::FaultInjector injector(std::move(sched));
+  injector.Install();
+
+  RecoveryOptions opt;
+  opt.stream_chunk_tuples = 8;
+  opt.watermark_interval_chunks = 1;
+  ASSERT_OK_AND_ASSIGN(RecoveryStats stats, cluster->RecoverWorker(1, opt));
+  injector.Uninstall();
+
+  const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(1));
+  EXPECT_GE(m.counter(obs::CounterId::kRecoveryStreamResumes).value(), 1)
+      << "attempt 2 restarted the stream from scratch instead of resuming "
+         "from the durable watermark";
+  EXPECT_EQ(RecoveryAttempts(&observer), 2);
+
+  // No duplicated and no lost tuples across the interrupted stream.
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> rows,
+                       coord->Query(table, Predicate::True()));
+  EXPECT_EQ(rows.size(), 130u);
+  (void)stats;
+  observer.Uninstall();
+}
+
+// ------------------------------------------------- satellite regressions
+
+// A buddy that dies exactly between Phase 3's cover computation and its
+// lock acquisition must be handled inside the attempt: the lock loop
+// recomputes covers against current liveness instead of re-Calling the dead
+// site until the whole attempt is abandoned.
+TEST(HarborRecoveryTest, Phase3RecomputesCoverWhenBuddyDiesBeforeLocks) {
+  obs::Observer observer;
+  observer.Install();
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC, /*workers=*/3);
+  test::TraceDumpOnFailure dump_on_failure;
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 15; i < 40; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "delta")));
+  }
+  cluster->AdvanceEpoch();
+  cluster->CrashWorker(2);
+
+  // PlanCover rotates full-replica picks by table id: with buddies
+  // {worker 0, worker 1} usable it deterministically picks worker 1 for
+  // table 1. The point fires on the recovering site right after Phase 3
+  // computed that cover; its "crash handler" kills the chosen buddy.
+  fault::ChaosSchedule sched;
+  fault::PointFault p;
+  p.point = "recovery.phase3.cover_computed";
+  p.site = Cluster::WorkerSite(2);
+  sched.points.push_back(p);
+  fault::FaultInjector injector(std::move(sched));
+  Cluster* raw = cluster.get();
+  injector.RegisterCrashHandler(Cluster::WorkerSite(2),
+                                [raw] { raw->CrashWorker(1); });
+  injector.Install();
+
+  ASSERT_OK(cluster->RecoverWorker(2).status());
+  injector.Uninstall();
+
+  // The retry happened inside Phase 3's lock loop, not by restarting the
+  // whole recovery attempt.
+  EXPECT_EQ(RecoveryAttempts(&observer), 1);
+
+  cluster->AdvanceEpoch();
+  const Timestamp now = cluster->authority()->StableTime();
+  std::vector<Tuple> reference = Contents(cluster.get(), 0, now);
+  std::vector<Tuple> recovered = Contents(cluster.get(), 2, now);
+  ASSERT_EQ(reference.size(), recovered.size());
+  for (size_t j = 0; j < reference.size(); ++j) {
+    EXPECT_EQ(reference[j], recovered[j]) << "row " << j;
+  }
+  observer.Uninstall();
+}
+
+// A tuple bulk-loaded with insertion time 0 used to make the Phase 2/3
+// deletion pass compute `insertion_after = 0 - 1`, which wraps to
+// UINT64_MAX and silently matches nothing — its deletion was dropped and
+// the recovered replica diverged.
+TEST(HarborRecoveryTest, RecoversDeletionOfInsertionTimeZeroTuple) {
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  std::vector<LoadRow> rows;
+  for (int i = 0; i < 4; ++i) {
+    LoadRow r;
+    r.tuple_id = static_cast<TupleId>(i + 1);
+    r.insertion_ts = 0;
+    r.values = SmallRow(i, i, "epoch0");
+    rows.push_back(std::move(r));
+  }
+  ASSERT_OK(cluster->BulkLoad(table, rows));
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+
+  cluster->CrashWorker(1);
+  {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+    Predicate p;
+    p.And("id", CompareOp::kEq, Value(int64_t{2}));
+    ASSERT_OK(coord->Delete(txn, table, p));
+    ASSERT_OK(coord->Commit(txn));
+  }
+  cluster->AdvanceEpoch();
+
+  ASSERT_OK_AND_ASSIGN(RecoveryStats stats, cluster->RecoverWorker(1));
+  EXPECT_GE(stats.objects[0].phase2_deletions_copied +
+                stats.objects[0].phase3_deletions_copied,
+            1u);
+
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+  std::vector<Tuple> recovered =
+      Contents(cluster.get(), 1, cluster->authority()->StableTime());
+  ASSERT_EQ(recovered.size(), 3u);
+  for (const Tuple& t : recovered) {
+    EXPECT_NE(t.value(0).AsInt64(), 2) << "deletion of the ts-0 tuple was "
+                                          "dropped on the recovered replica";
+  }
+}
+
+// A recovery with nothing committed past the checkpoint must not pay
+// Phase 2's FlushAll + forced object-checkpoint write for a round that
+// copied nothing.
+TEST(HarborRecoveryTest, NoProgressRecoverySkipsPhase2CheckpointWrites) {
+  obs::Observer observer;
+  observer.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  cluster->CrashWorker(1);
+
+  const int64_t before = observer.MetricsFor(Cluster::WorkerSite(1))
+                             .counter(obs::CounterId::kDiskForcedWrites)
+                             .value();
+  ASSERT_OK_AND_ASSIGN(RecoveryStats stats, cluster->RecoverWorker(1));
+  const int64_t after = observer.MetricsFor(Cluster::WorkerSite(1))
+                            .counter(obs::CounterId::kDiskForcedWrites)
+                            .value();
+
+  EXPECT_EQ(stats.objects[0].phase2_rounds, 0);
+  EXPECT_EQ(stats.objects[0].phase2_tuples_copied, 0u);
+  // Exactly Phase 3's two forced writes remain: the per-object checkpoint
+  // and the global-checkpoint promotion. A no-progress Phase 2 round would
+  // add a third.
+  EXPECT_EQ(after - before, 2);
+
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+  observer.Uninstall();
+}
+
+// Aggregate phase timings must respect how the objects actually ran:
+// max across objects under parallel recovery, sum when serial, with the
+// directly-measured offline wall time bounding both (the old code defined
+// phase2 as offline minus max(phase1), which over-attributed time to
+// Phase 2 whenever objects progressed at different rates in parallel).
+TEST(HarborRecoveryTest, StatsAttributePhaseTimePerObject) {
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
+  ASSERT_OK_AND_ASSIGN(TableId t1, MakeTable(cluster.get(), "a"));
+  ASSERT_OK_AND_ASSIGN(TableId t2, MakeTable(cluster.get(), "b"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(t1, SmallRow(i, i, "a")));
+    ASSERT_OK(coord->InsertTxn(t2, SmallRow(i, i, "b")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  for (int i = 10; i < 40; ++i) {
+    ASSERT_OK(coord->InsertTxn(t1, SmallRow(i, i, "a2")));
+    ASSERT_OK(coord->InsertTxn(t2, SmallRow(i, i, "b2")));
+  }
+  cluster->AdvanceEpoch();
+
+  cluster->CrashWorker(1);
+  RecoveryOptions par;
+  par.parallel = true;
+  ASSERT_OK_AND_ASSIGN(RecoveryStats pstats, cluster->RecoverWorker(1, par));
+  ASSERT_EQ(pstats.objects.size(), 2u);
+  double max_p1 = 0, max_p2 = 0;
+  for (const ObjectRecoveryStats& o : pstats.objects) {
+    EXPECT_GT(o.phase2_seconds, 0.0);
+    EXPECT_GE(o.phase2_seconds,
+              o.phase2_delete_seconds + o.phase2_insert_seconds -
+                  1e-9);  // sub-phases nest inside the object's Phase 2
+    max_p1 = std::max(max_p1, o.phase1_seconds);
+    max_p2 = std::max(max_p2, o.phase2_seconds);
+    // Each object's offline phases ran inside the measured offline window.
+    EXPECT_LE(o.phase1_seconds + o.phase2_seconds, pstats.offline_seconds);
+  }
+  EXPECT_EQ(pstats.phase1_seconds, max_p1);
+  EXPECT_EQ(pstats.phase2_seconds, max_p2);
+  EXPECT_GE(pstats.total_seconds, pstats.offline_seconds);
+
+  cluster->AdvanceEpoch();
+  cluster->CrashWorker(1);
+  RecoveryOptions ser;
+  ser.parallel = false;
+  ASSERT_OK_AND_ASSIGN(RecoveryStats sstats, cluster->RecoverWorker(1, ser));
+  ASSERT_EQ(sstats.objects.size(), 2u);
+  double sum_p1 = 0, sum_p2 = 0;
+  for (const ObjectRecoveryStats& o : sstats.objects) {
+    sum_p1 += o.phase1_seconds;
+    sum_p2 += o.phase2_seconds;
+  }
+  EXPECT_EQ(sstats.phase1_seconds, sum_p1);
+  EXPECT_EQ(sstats.phase2_seconds, sum_p2);
+  EXPECT_LE(sum_p1 + sum_p2, sstats.offline_seconds);
+
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
 }
 
 }  // namespace

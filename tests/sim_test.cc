@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "common/clock.h"
@@ -62,12 +64,20 @@ TEST(SimDiskTest, CostModelShapes) {
 TEST(SimDiskTest, ForcedWriteCostsMoreThanSequential) {
   SimConfig cfg;  // latencies on
   SimDisk disk("d", cfg);
-  Stopwatch w1;
-  disk.ChargeSequentialRead(4096);
-  int64_t seq = w1.ElapsedNanos();
-  Stopwatch w2;
-  disk.ChargeForcedWrite(4096);
-  int64_t forced = w2.ElapsedNanos();
+  // Minimum over a few trials: a deschedule between starting the stopwatch
+  // and finishing the charge inflates one wall-clock sample arbitrarily
+  // when the test box is loaded (ctest -j), but cannot deflate it below
+  // the modeled sleep.
+  int64_t seq = std::numeric_limits<int64_t>::max();
+  int64_t forced = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 3; ++i) {
+    Stopwatch w1;
+    disk.ChargeSequentialRead(4096);
+    seq = std::min(seq, w1.ElapsedNanos());
+    Stopwatch w2;
+    disk.ChargeForcedWrite(4096);
+    forced = std::min(forced, w2.ElapsedNanos());
+  }
   EXPECT_GT(forced, seq * 5);
 }
 
@@ -87,12 +97,19 @@ TEST(SimNetworkTest, SendersSerializeIndependently) {
   cfg.net_latency_ns = 0;
   cfg.net_bandwidth_bytes_per_sec = 1'000'000;  // 1 MB/s: 5 ms per 5 KB
   SimNetwork net(cfg);
-  Stopwatch w;
-  std::thread a([&] { net.ChargeMessage(1, 5000); });
-  std::thread b([&] { net.ChargeMessage(2, 5000); });
-  a.join();
-  b.join();
-  EXPECT_LT(w.ElapsedNanos(), 9'000'000);  // overlapped, not 10 ms
+  // Overlapped, not 10 ms. The 9 ms bound leaves ~4 ms of scheduler
+  // headroom, which a loaded test box (ctest -j) can eat; keep the best of
+  // a few attempts, since contention only ever inflates the measurement.
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int attempt = 0; attempt < 3 && best >= 9'000'000; ++attempt) {
+    Stopwatch w;
+    std::thread a([&] { net.ChargeMessage(1, 5000); });
+    std::thread b([&] { net.ChargeMessage(2, 5000); });
+    a.join();
+    b.join();
+    best = std::min(best, w.ElapsedNanos());
+  }
+  EXPECT_LT(best, 9'000'000);
   // Same sender: serialized.
   Stopwatch w2;
   std::thread c([&] { net.ChargeMessage(1, 5000); });
