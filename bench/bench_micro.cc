@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "buffer/buffer_pool.h"
@@ -436,6 +438,96 @@ BENCHMARK(BM_RecoveryStreamTransfer)
     ->ArgsProduct({{2000, 10000, 40000}, {0, 128, 512, 2048}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Snapshot vs S-locking read throughput under a concurrent update mix.
+// range(0): 0 = snapshot (the default lock-free read path), 1 = locking.
+// Reader threads (1/4/8) run full-table Querys against a shared 2-worker
+// cluster while one background updater continuously commits single-row
+// updates; its DML takes X page locks, so locking readers queue behind the
+// writer while snapshot readers bypass the LockManager entirely.
+// Source of BENCH_snapshot_reads.json:
+//   bench_micro --benchmark_filter=SnapshotVsLockingRead
+//               --benchmark_format=json
+
+struct SnapshotReadEnv {
+  std::unique_ptr<Cluster> cluster;
+  TableId table = 0;
+  std::thread updater;
+  std::atomic<bool> stop{false};
+};
+
+SnapshotReadEnv& SnapshotEnv() {
+  static SnapshotReadEnv* env = [] {
+    auto* e = new SnapshotReadEnv();
+    ClusterOptions opt;
+    opt.num_workers = 2;
+    opt.protocol = CommitProtocol::kOptimized3PC;
+    opt.sim = SimConfig::Zero();
+    auto cluster_r = Cluster::Create(opt);
+    HARBOR_CHECK_OK(cluster_r.status());
+    e->cluster = std::move(cluster_r).value();
+    e->table = bench::MakeEvalTable(e->cluster.get(), "t", 16);
+    bench::Preload(e->cluster.get(), e->table, 2000);
+    e->cluster->AdvanceEpoch();
+    return e;
+  }();
+  return *env;
+}
+
+void BM_SnapshotVsLockingRead(benchmark::State& state) {
+  const ReadMode mode =
+      state.range(0) == 0 ? ReadMode::kSnapshot : ReadMode::kLocking;
+  SnapshotReadEnv& env = SnapshotEnv();
+  Coordinator* coord = env.cluster->coordinator();
+  if (state.thread_index() == 0) {
+    env.stop.store(false);
+    env.updater = std::thread([&env] {
+      Coordinator* c = env.cluster->coordinator();
+      Random rng(Random::GlobalSeed() ^ 0xBADC0FFEULL);
+      while (!env.stop.load(std::memory_order_relaxed)) {
+        Predicate p;
+        p.And("f0", CompareOp::kEq,
+              Value(static_cast<int32_t>(rng.Uniform(2000))));
+        auto txn = c->Begin();
+        if (!txn.ok()) continue;
+        Status st = c->Update(
+            *txn, env.table, p,
+            {SetClause{"f1", Value(static_cast<int32_t>(rng.Uniform(1000)))}});
+        if (st.ok()) {
+          (void)c->Commit(*txn);
+        } else {
+          (void)c->Abort(*txn);
+        }
+      }
+    });
+  }
+  int64_t ok = 0, failed = 0;
+  for (auto _ : state) {
+    auto rows = coord->Query(env.table, Predicate(), mode);
+    if (rows.ok()) {
+      ++ok;
+      benchmark::DoNotOptimize(rows->size());
+    } else {
+      ++failed;  // a locking read can time out behind the writer
+    }
+  }
+  if (state.thread_index() == 0) {
+    env.stop.store(true);
+    env.updater.join();
+  }
+  state.SetItemsProcessed(ok);
+  state.counters["failed_reads"] = benchmark::Counter(
+      static_cast<double>(failed), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_SnapshotVsLockingRead)
+    ->ArgName("locking")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace harbor

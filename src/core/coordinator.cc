@@ -86,6 +86,7 @@ Status Coordinator::Restart() {
   }
   for (const auto& [txn, outcome] : open) {
     const auto& [committed, ts] = outcome;
+    if (committed) last_commit_.Learn(ts);
     std::vector<SiteId> sites = liveness_->OnlineSites();
     for (SiteId s : sites) {
       if (s == options_.site_id) continue;
@@ -93,11 +94,13 @@ Status Coordinator::Restart() {
         CommitTsMsg msg;
         msg.txn = txn;
         msg.commit_ts = ts;
+        msg.stable_ts = StampStableTime();
         (void)network_->Call(options_.site_id, s, msg.Encode());
       } else {
         TxnMsg msg;
         msg.type = MsgType::kAbort;
         msg.txn = txn;
+        msg.stable_ts = StampStableTime();
         (void)network_->Call(options_.site_id, s, msg.Encode());
       }
     }
@@ -293,6 +296,7 @@ Status Coordinator::AbortWithWorkers(
   TxnMsg abort;
   abort.type = MsgType::kAbort;
   abort.txn = ct->id;
+  abort.stable_ts = StampStableTime();
   Broadcast(prepared_sites, abort.Encode());
   if (log_ != nullptr) {
     LogRecord end;
@@ -325,10 +329,12 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    commit.stable_ts = StampStableTime();
     obs::Trace(options_.site_id, "coord.1pc.commit.send", ct->id,
                static_cast<int64_t>(ts));
     Broadcast(participants, commit.Encode());
     authority_->EndCommit(ts, options_.site_id);
+    last_commit_.Learn(ts);
     committed_.fetch_add(1, std::memory_order_relaxed);
     obs::Count(options_.site_id, obs::CounterId::kTxnCommitted);
     ct->finished = true;
@@ -411,6 +417,7 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    commit.stable_ts = StampStableTime();
     obs::Trace(options_.site_id, "coord.commit.send", ct->id,
                static_cast<int64_t>(ts),
                static_cast<int64_t>(yes_sites.size()));
@@ -434,6 +441,7 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     ptc.type = MsgType::kPrepareToCommit;
     ptc.txn = ct->id;
     ptc.commit_ts = ts;
+    ptc.stable_ts = StampStableTime();
     obs::Trace(options_.site_id, "coord.3pc.ptc.send", ct->id,
                static_cast<int64_t>(ts),
                static_cast<int64_t>(yes_sites.size()));
@@ -443,6 +451,7 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     CommitTsMsg commit;
     commit.txn = ct->id;
     commit.commit_ts = ts;
+    commit.stable_ts = StampStableTime();
     obs::Trace(options_.site_id, "coord.commit.send", ct->id,
                static_cast<int64_t>(ts),
                static_cast<int64_t>(yes_sites.size()));
@@ -451,6 +460,7 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
   }
 
   authority_->EndCommit(ts, options_.site_id);
+  last_commit_.Learn(ts);
   committed_.fetch_add(1, std::memory_order_relaxed);
   obs::Count(options_.site_id, obs::CounterId::kTxnCommitted);
   obs::Trace(options_.site_id, "coord.commit.done", ct->id,
@@ -487,6 +497,7 @@ Status Coordinator::Abort(TxnId txn) {
   TxnMsg abort;
   abort.type = MsgType::kAbort;
   abort.txn = txn;
+  abort.stable_ts = StampStableTime();
   std::vector<SiteId> targets;
   for (SiteId s : ct->workers) {
     if (network_->IsAlive(s)) targets.push_back(s);
@@ -514,42 +525,94 @@ Status Coordinator::InsertTxn(TableId table, std::vector<Value> values,
 
 // ------------------------------------------------------------------ reads
 
+Timestamp Coordinator::StampStableTime() {
+  const Timestamp st = authority_->StableTime();
+  snapshots_.Learn(st);
+  return st;
+}
+
+Timestamp Coordinator::SnapshotTime() {
+  // Fast path: the piggyback-learned mark, when it already covers our own
+  // newest commit (read-your-writes) and is not too far behind the epoch.
+  const Timestamp floor = last_commit_.mark();
+  const Timestamp mark = snapshots_.mark();
+  if (mark >= floor &&
+      authority_->Now() - mark <=
+          static_cast<Timestamp>(options_.snapshot_max_lag_epochs)) {
+    return mark;
+  }
+  Timestamp st = authority_->StableTime();
+  if (st < floor) {
+    // Our newest commit's epoch is still current, so no stable time covers
+    // it yet. Publish a fresh epoch and re-read: sequential callers always
+    // see their own commits. (A concurrent in-flight commit in an older
+    // epoch can still hold the stable time down — that staleness is the
+    // documented semantics of snapshot reads.)
+    authority_->Advance();
+    st = authority_->StableTime();
+  }
+  snapshots_.Learn(st);
+  return std::max(st, mark);
+}
+
+Result<std::vector<Tuple>> Coordinator::SnapshotQueryAt(
+    TableId table, const Predicate& predicate, Timestamp as_of) {
+  HARBOR_ASSIGN_OR_RETURN(const TableDef* def, catalog_->GetTable(table));
+  Status failure = Status::OK();
+  // Two planning attempts: a site that crashes or starts recovering between
+  // planning and serving answers Unavailable, and the second plan routes
+  // around it. Snapshot reads never wait for recovery to finish.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    HARBOR_ASSIGN_OR_RETURN(
+        std::vector<RecoveryObject> plan,
+        catalog_->PlanCover(
+            table, PartitionRange::Full(), kInvalidSiteId,
+            [this](SiteId s) { return liveness_->IsOnline(s); }));
+    std::vector<Tuple> out;
+    failure = Status::OK();
+    for (const RecoveryObject& piece : plan) {
+      ScanMsg scan;
+      scan.spec.object_id = piece.object_id;
+      scan.spec.mode = ScanMode::kVisible;
+      scan.spec.as_of = as_of;
+      scan.spec.range = piece.predicate;
+      scan.spec.predicate = predicate;
+      scan.snapshot_read = true;
+      auto reply = network_->Call(options_.site_id, piece.site, scan.Encode());
+      if (!reply.ok()) {
+        failure = reply.status();
+        break;
+      }
+      HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded,
+                              ScanReplyMsg::Decode(*reply));
+      HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                              def->logical_schema.MappingFrom(decoded.schema));
+      for (const Tuple& t : decoded.tuples) {
+        out.push_back(t.RemapColumns(mapping));
+      }
+    }
+    if (failure.ok()) return out;
+    if (!failure.IsUnavailable()) break;
+  }
+  return failure;
+}
+
 Result<std::vector<Tuple>> Coordinator::HistoricalQuery(
     TableId table, const Predicate& predicate, Timestamp as_of) {
   if (as_of > authority_->StableTime()) {
     return Status::InvalidArgument(
         "historical time is not yet stable; use <= StableTime()");
   }
-  HARBOR_ASSIGN_OR_RETURN(const TableDef* def, catalog_->GetTable(table));
-  HARBOR_ASSIGN_OR_RETURN(
-      std::vector<RecoveryObject> plan,
-      catalog_->PlanCover(table, PartitionRange::Full(), kInvalidSiteId,
-                          [this](SiteId s) { return liveness_->IsOnline(s); }));
-  std::vector<Tuple> out;
-  for (const RecoveryObject& piece : plan) {
-    ScanMsg scan;
-    scan.spec.object_id = piece.object_id;
-    scan.spec.mode = ScanMode::kVisible;
-    scan.spec.as_of = as_of;
-    scan.spec.range = piece.predicate;
-    scan.spec.predicate = predicate;
-    HARBOR_ASSIGN_OR_RETURN(
-        Message reply,
-        network_->Call(options_.site_id, piece.site, scan.Encode()));
-    HARBOR_ASSIGN_OR_RETURN(ScanReplyMsg decoded,
-                            ScanReplyMsg::Decode(reply));
-    HARBOR_ASSIGN_OR_RETURN(
-        std::vector<size_t> mapping,
-        def->logical_schema.MappingFrom(decoded.schema));
-    for (const Tuple& t : decoded.tuples) {
-      out.push_back(t.RemapColumns(mapping));
-    }
-  }
-  return out;
+  snapshots_.Learn(as_of);  // the caller-supplied time is provably stable
+  return SnapshotQueryAt(table, predicate, as_of);
 }
 
 Result<std::vector<Tuple>> Coordinator::Query(TableId table,
-                                              const Predicate& predicate) {
+                                              const Predicate& predicate,
+                                              ReadMode mode) {
+  if (mode == ReadMode::kSnapshot) {
+    return SnapshotQueryAt(table, predicate, SnapshotTime());
+  }
   HARBOR_ASSIGN_OR_RETURN(TxnId txn, Begin());
   HARBOR_ASSIGN_OR_RETURN(const TableDef* def, catalog_->GetTable(table));
   HARBOR_ASSIGN_OR_RETURN(
@@ -594,6 +657,7 @@ Result<std::vector<Tuple>> Coordinator::Query(TableId table,
   TxnMsg finish;
   finish.type = MsgType::kFinishRead;
   finish.txn = txn;
+  finish.stable_ts = StampStableTime();
   Broadcast(touched, finish.Encode());
   EraseTxn(txn);
   if (!failure.ok()) return failure;

@@ -17,6 +17,7 @@
 #include "exec/predicate.h"
 #include "net/network.h"
 #include "sim/sim_disk.h"
+#include "txn/snapshot_tracker.h"
 #include "txn/timestamp_authority.h"
 #include "wal/log_manager.h"
 
@@ -32,6 +33,20 @@ struct CoordinatorOptions {
   /// §4.3.5: commit with K-1 safety when a worker crashes mid-transaction
   /// instead of aborting.
   bool continue_on_worker_failure = false;
+  /// How stale (in epochs behind Now) the cached snapshot mark may be before
+  /// SnapshotTime() re-consults the authority. Larger values make snapshot
+  /// reads cheaper under load at the price of older snapshots.
+  int64_t snapshot_max_lag_epochs = 1;
+};
+
+/// How Query() reads (§3.1 vs §3.3).
+enum class ReadMode : uint8_t {
+  /// Default: lock-free read at a recent cluster-wide stable timestamp.
+  /// Never blocks on or interferes with writers; may miss commits still in
+  /// flight at other coordinators.
+  kSnapshot = 0,
+  /// Up-to-date read transaction with shared page locks.
+  kLocking = 1,
 };
 
 /// \brief The transaction coordinator (§4.1): distributes update requests to
@@ -81,8 +96,18 @@ class Coordinator {
   Result<std::vector<Tuple>> HistoricalQuery(TableId table,
                                              const Predicate& predicate,
                                              Timestamp as_of);
-  /// Up-to-date read with shared locks (read transaction).
-  Result<std::vector<Tuple>> Query(TableId table, const Predicate& predicate);
+  /// Read-only query. The default mode serves a lock-free scan at
+  /// SnapshotTime(); ReadMode::kLocking forces the S-locking read
+  /// transaction path.
+  Result<std::vector<Tuple>> Query(TableId table, const Predicate& predicate,
+                                   ReadMode mode = ReadMode::kSnapshot);
+
+  /// The stable timestamp the next snapshot read will use. Served from the
+  /// piggyback-learned low-water mark when it is fresh enough (lock-free);
+  /// falls back to the authority — advancing the epoch if needed so this
+  /// coordinator's own latest commit is visible (read-your-writes for
+  /// sequential callers).
+  Timestamp SnapshotTime();
 
   /// Fresh tuple id for an insert (shared by all replicas of the tuple).
   TupleId NextTupleId();
@@ -121,6 +146,15 @@ class Coordinator {
   Status AbortWithWorkers(const std::shared_ptr<CoordTxn>& ct,
                           const std::vector<SiteId>& prepared_sites);
 
+  /// Lock-free snapshot scan of `table` at stable time `as_of` across an
+  /// online cover; re-plans once if a site fails mid-query.
+  Result<std::vector<Tuple>> SnapshotQueryAt(TableId table,
+                                             const Predicate& predicate,
+                                             Timestamp as_of);
+  /// StableTime() now, folded into the local mark — the value stamped onto
+  /// outgoing commit/abort traffic.
+  Timestamp StampStableTime();
+
   Status LogDecisionForced(TxnId txn, bool commit, Timestamp ts);
 
   Network* const network_;
@@ -143,6 +177,13 @@ class Coordinator {
   /// Blocks new update distribution while a recovering site joins pending
   /// transactions, eliminating forward/new-update races (§5.4.2).
   std::shared_mutex online_gate_;
+
+  /// Low-water mark of cluster-wide stable time, fed by this coordinator's
+  /// own StableTime() reads; SnapshotTime()'s lock-free fast path.
+  SnapshotTracker snapshots_;
+  /// Newest commit timestamp this coordinator successfully committed; the
+  /// freshness floor for SnapshotTime (read-your-writes).
+  SnapshotTracker last_commit_;
 
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> txn_counter_{0};

@@ -62,6 +62,7 @@ Message CommitTsMsg::Encode() const {
   ByteBufferWriter out;
   out.WriteU64(txn);
   out.WriteU64(commit_ts);
+  out.WriteU64(stable_ts);
   return Wrap(type, &out);
 }
 
@@ -71,12 +72,14 @@ Result<CommitTsMsg> CommitTsMsg::Decode(const Message& m) {
   r.type = static_cast<MsgType>(m.type);
   HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(r.commit_ts, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.stable_ts, in.ReadU64());
   return r;
 }
 
 Message TxnMsg::Encode() const {
   ByteBufferWriter out;
   out.WriteU64(txn);
+  out.WriteU64(stable_ts);
   return Wrap(type, &out);
 }
 
@@ -85,6 +88,7 @@ Result<TxnMsg> TxnMsg::Decode(const Message& m) {
   TxnMsg r;
   r.type = static_cast<MsgType>(m.type);
   HARBOR_ASSIGN_OR_RETURN(r.txn, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.stable_ts, in.ReadU64());
   return r;
 }
 
@@ -93,11 +97,13 @@ Message ScanMsg::Encode() const {
   spec.Serialize(&out);
   out.WriteU64(owner);
   out.WriteBool(with_page_locks);
+  out.WriteBool(snapshot_read);
   out.WriteBool(minimal_projection);
   out.WriteU32(max_tuples);
   out.WriteBool(has_cursor);
   out.WriteU64(cursor_insertion_ts);
   out.WriteU64(cursor_tuple_id);
+  out.WriteU64(cap_insertion_ts);
   return Wrap(MsgType::kScan, &out);
 }
 
@@ -107,11 +113,13 @@ Result<ScanMsg> ScanMsg::Decode(const Message& m) {
   HARBOR_ASSIGN_OR_RETURN(r.spec, ScanSpec::Deserialize(&in));
   HARBOR_ASSIGN_OR_RETURN(r.owner, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(r.with_page_locks, in.ReadBool());
+  HARBOR_ASSIGN_OR_RETURN(r.snapshot_read, in.ReadBool());
   HARBOR_ASSIGN_OR_RETURN(r.minimal_projection, in.ReadBool());
   HARBOR_ASSIGN_OR_RETURN(r.max_tuples, in.ReadU32());
   HARBOR_ASSIGN_OR_RETURN(r.has_cursor, in.ReadBool());
   HARBOR_ASSIGN_OR_RETURN(r.cursor_insertion_ts, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(r.cursor_tuple_id, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.cap_insertion_ts, in.ReadU64());
   return r;
 }
 
@@ -133,6 +141,7 @@ Message ScanReplyMsg::Encode() const {
   out.WriteBool(truncated);
   out.WriteU64(last_insertion_ts);
   out.WriteU64(last_tuple_id);
+  out.WriteU64(cap_insertion_ts);
   return Wrap(MsgType::kScanReply, &out);
 }
 
@@ -162,6 +171,7 @@ Result<ScanReplyMsg> ScanReplyMsg::Decode(const Message& m) {
   HARBOR_ASSIGN_OR_RETURN(r.truncated, in.ReadBool());
   HARBOR_ASSIGN_OR_RETURN(r.last_insertion_ts, in.ReadU64());
   HARBOR_ASSIGN_OR_RETURN(r.last_tuple_id, in.ReadU64());
+  HARBOR_ASSIGN_OR_RETURN(r.cap_insertion_ts, in.ReadU64());
   return r;
 }
 

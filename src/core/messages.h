@@ -67,19 +67,26 @@ struct PrepareMsg {
 
 /// kPrepareToCommit / kCommit: carry the commit time (§4.1: COMMIT messages
 /// include the commit time for all tuples modified by the transaction).
+/// `stable_ts` piggybacks the sender's snapshot low-water mark (the
+/// authority's StableTime at send, see txn/snapshot_tracker.h) so workers
+/// learn a fresh mark from ordinary commit traffic; 0 = no mark carried.
 struct CommitTsMsg {
   MsgType type = MsgType::kCommit;
   TxnId txn = kInvalidTxnId;
   Timestamp commit_ts = 0;
+  Timestamp stable_ts = 0;
 
   Message Encode() const;
   static Result<CommitTsMsg> Decode(const Message& m);
 };
 
-/// kAbort / kFinishRead / kResolveTxn / kTxnStateProbe: transaction id only.
+/// kAbort / kFinishRead / kResolveTxn / kTxnStateProbe: transaction id plus
+/// the same piggybacked low-water mark as CommitTsMsg (abort-heavy traffic
+/// must keep marks flowing too; 0 = no mark carried).
 struct TxnMsg {
   MsgType type = MsgType::kAbort;
   TxnId txn = kInvalidTxnId;
+  Timestamp stable_ts = 0;
 
   Message Encode() const;
   static Result<TxnMsg> Decode(const Message& m);
@@ -101,11 +108,23 @@ struct ScanMsg {
   ScanSpec spec;
   LockOwnerId owner = 0;
   bool with_page_locks = false;
+  /// Snapshot read (the default read path): serve the kVisible scan at
+  /// spec.as_of — a stable snapshot timestamp — with zero LockManager
+  /// traffic. Recovering sites refuse such scans so readers fail fast and
+  /// route to another replica instead of blocking on recovery. Takes
+  /// precedence over with_page_locks.
+  bool snapshot_read = false;
   bool minimal_projection = false;
   uint32_t max_tuples = 0;  // 0 = unbounded (single monolithic reply)
   bool has_cursor = false;
   Timestamp cursor_insertion_ts = 0;
   TupleId cursor_tuple_id = 0;
+  /// Pinned insertion-time cap for a chunked stream. The serving site picks
+  /// the cap on the first chunk (from its clock, when the spec carries no
+  /// upper bound of its own) and returns it in the reply; the client echoes
+  /// it here on every subsequent chunk so a long-running stream never widens
+  /// into tuples inserted after the stream began. 0 = not pinned yet.
+  Timestamp cap_insertion_ts = 0;
 
   Message Encode() const;
   static Result<ScanMsg> Decode(const Message& m);
@@ -135,6 +154,9 @@ struct ScanReplyMsg {
   bool truncated = false;
   Timestamp last_insertion_ts = 0;
   TupleId last_tuple_id = 0;
+  /// The insertion-time cap the serving site pinned for this stream; echo it
+  /// in the next chunk request's cap_insertion_ts. 0 = no cap to carry.
+  Timestamp cap_insertion_ts = 0;
 
   Message Encode() const;
   static Result<ScanReplyMsg> Decode(const Message& m);

@@ -160,6 +160,11 @@ Status RecoveryManager::StreamScan(
       msg.has_cursor = true;
       msg.cursor_insertion_ts = decoded.last_insertion_ts;
       msg.cursor_tuple_id = decoded.last_tuple_id;
+      // Echo the serving site's pinned insertion-time cap so the stream
+      // stays bounded to tuples that existed when it began.
+      if (decoded.cap_insertion_ts > 0) {
+        msg.cap_insertion_ts = decoded.cap_insertion_ts;
+      }
       inflight = net->CallAsync(self, piece.site, msg.Encode());
     }
     if (obs::Enabled()) {

@@ -32,7 +32,7 @@ Worker::Runtime::Runtime(const WorkerOptions& options)
       pool(&fm, options.buffer_pages,
            BufferPool::Options{.shards = options.buffer_shards,
                                .site_id = options.site_id}),
-      locks(options.lock_timeout) {}
+      locks(options.lock_timeout, options.site_id) {}
 
 Worker::Worker(Network* network, GlobalCatalog* catalog,
                TimestampAuthority* authority, LivenessDirectory* liveness,
@@ -402,6 +402,7 @@ Result<Message> Worker::HandlePrepare(const PrepareMsg& m) {
 
 Result<Message> Worker::HandlePrepareToCommit(const CommitTsMsg& m) {
   HARBOR_FAULT_POINT_ASYNC("worker.prepare_to_commit", options_.site_id);
+  snapshots_.Learn(m.stable_ts);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -465,6 +466,7 @@ Status Worker::AbortLocally(TxnState* txn) {
 
 Result<Message> Worker::HandleCommit(const CommitTsMsg& m) {
   HARBOR_FAULT_POINT_ASYNC("worker.commit", options_.site_id);
+  snapshots_.Learn(m.stable_ts);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -480,6 +482,7 @@ Result<Message> Worker::HandleCommit(const CommitTsMsg& m) {
 
 Result<Message> Worker::HandleAbort(const TxnMsg& m) {
   HARBOR_FAULT_POINT_ASYNC("worker.abort", options_.site_id);
+  snapshots_.Learn(m.stable_ts);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
   auto txn_r = rt->txns.Get(m.txn);
@@ -499,10 +502,27 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
   HARBOR_FAULT_POINT_ASYNC("worker.scan", options_.site_id);
   Runtime* rt = rt_.get();
   if (rt == nullptr) return Status::Unavailable("worker down");
+  if (m.snapshot_read &&
+      liveness_->Get(options_.site_id) != SiteState::kOnline) {
+    // A recovering site's objects are incomplete until Phase 3 ends, and a
+    // snapshot read takes no locks that would serialize it against the
+    // rewrite. Refuse so the reader fails fast and re-plans onto an online
+    // replica instead of blocking on (or racing with) recovery.
+    return Status::Unavailable("snapshot read refused: site not online");
+  }
+  if (m.snapshot_read) {
+    // The scan's as_of is itself a stable timestamp the coordinator vouched
+    // for — fold it into this site's low-water mark (lazy gossip).
+    snapshots_.Learn(m.spec.as_of);
+  }
+  const ScanLocking locking = m.snapshot_read    ? ScanLocking::kSnapshot
+                              : m.with_page_locks ? ScanLocking::kPageLocks
+                                                  : ScanLocking::kNone;
   HARBOR_ASSIGN_OR_RETURN(TableObject * obj,
                           rt->catalog.GetObject(m.spec.object_id));
   ScanReplyMsg reply;
   std::vector<Tuple> tuples;
+  uint64_t pages_visited = 0;
   if (m.max_tuples > 0) {
     // Chunked recovery scan: serve one bounded chunk in (insertion_ts,
     // tuple_id) order starting past the continuation cursor. The cursor's
@@ -530,11 +550,22 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
     const Timestamp window_lo =
         spec.has_insertion_after ? spec.insertion_after : 0;
     const bool has_full_hi = spec.has_insertion_at_or_before;
+    // When the spec carries no upper bound of its own, pin one at the first
+    // chunk and carry it across the stream (the client echoes it back in
+    // cap_insertion_ts). Recomputing from Now() per chunk would let a
+    // long-running stream widen into tuples inserted after it began.
     const Timestamp hi_cap =
         has_full_hi ? spec.insertion_at_or_before
-                    : std::max(window_lo, authority_->Now());
-    const ScanLocking locking = m.with_page_locks ? ScanLocking::kPageLocks
-                                                  : ScanLocking::kNone;
+        : m.cap_insertion_ts > 0
+            ? m.cap_insertion_ts
+            : std::max(window_lo, authority_->Now());
+    if (!has_full_hi) reply.cap_insertion_ts = hi_cap;
+    // The pinned cap may only become a real filter when uncommitted tuples
+    // cannot qualify anyway: their sentinel insertion time fails any finite
+    // bound, and kSeeDeleted scans that want them must keep the final
+    // window unbounded.
+    const bool cap_filters =
+        spec.exclude_uncommitted || spec.mode != ScanMode::kSeeDeleted;
     ScanChunk chunk;
     bool final_window = false;
     for (Timestamp width = 1; !final_window; width *= 2) {
@@ -543,7 +574,7 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
       if (!final_window) {
         attempt.has_insertion_at_or_before = true;
         attempt.insertion_at_or_before = window_lo + width;
-      } else if (has_full_hi) {
+      } else if (has_full_hi || cap_filters) {
         attempt.has_insertion_at_or_before = true;
         attempt.insertion_at_or_before = hi_cap;
       }
@@ -551,6 +582,7 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
                            locking);
       HARBOR_ASSIGN_OR_RETURN(
           chunk, CollectChunkByInsertion(&scan, after, m.max_tuples));
+      pages_visited += scan.pages_visited();
       if (!chunk.tuples.empty()) break;
     }
     if (!chunk.truncated && !final_window && !chunk.tuples.empty()) {
@@ -563,10 +595,23 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
     reply.last_insertion_ts = chunk.last_insertion_ts;
     reply.last_tuple_id = chunk.last_tuple_id;
   } else {
-    SeqScanOperator scan(rt->store.get(), obj, m.spec, m.owner,
-                         m.with_page_locks ? ScanLocking::kPageLocks
-                                           : ScanLocking::kNone);
+    SeqScanOperator scan(rt->store.get(), obj, m.spec, m.owner, locking);
     HARBOR_ASSIGN_OR_RETURN(tuples, CollectAll(&scan));
+    pages_visited = scan.pages_visited();
+  }
+  if (m.snapshot_read) {
+    obs::Count(options_.site_id, obs::CounterId::kReadSnapshotScans);
+    // What a locking read would have acquired: the IS table lock plus one S
+    // page lock per visited page.
+    obs::Count(options_.site_id, obs::CounterId::kReadLockBypass,
+               static_cast<int64_t>(1 + pages_visited));
+    const Timestamp now = authority_->Now();
+    obs::Observe(options_.site_id, obs::HistogramId::kReadSnapshotLagEpochs,
+                 now > m.spec.as_of
+                     ? static_cast<int64_t>(now - m.spec.as_of)
+                     : 0);
+  } else if (m.with_page_locks) {
+    obs::Count(options_.site_id, obs::CounterId::kReadLockScans);
   }
   reply.minimal = m.minimal_projection;
   if (m.minimal_projection) {

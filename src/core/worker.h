@@ -23,6 +23,7 @@
 #include "sim/sim_cpu.h"
 #include "sim/sim_disk.h"
 #include "storage/local_catalog.h"
+#include "txn/snapshot_tracker.h"
 #include "txn/timestamp_authority.h"
 #include "txn/transaction.h"
 #include "txn/version_store.h"
@@ -121,6 +122,13 @@ class Worker {
   /// Number of transactions this worker committed (throughput accounting).
   int64_t commits() const { return commits_.load(); }
 
+  /// This site's snapshot low-water mark: the newest cluster-wide stable
+  /// timestamp it has learned from piggybacked commit/abort traffic and
+  /// served snapshot scans. Every timestamp <= mark is safe to read without
+  /// locks. Lives outside the runtime: a learned mark is valid forever
+  /// (stability is monotone), so it survives Crash()/Start().
+  Timestamp snapshot_mark() const { return snapshots_.mark(); }
+
  private:
   struct Runtime {
     explicit Runtime(const WorkerOptions& options);
@@ -169,6 +177,7 @@ class Worker {
   const WorkerOptions options_;
 
   std::unique_ptr<Runtime> rt_;
+  SnapshotTracker snapshots_;
   std::atomic<bool> running_{false};
   std::atomic<bool> checkpoints_paused_{false};
   std::atomic<bool> fail_next_prepare_{false};

@@ -15,7 +15,10 @@ namespace harbor {
 /// Whether the scan participates in locking. Historical and SEE DELETED
 /// recovery scans run lock-free (§3.3, §5.3); up-to-date reads take an
 /// intention-shared table lock plus shared page locks (strict 2PL, §6.1.2).
-enum class ScanLocking : uint8_t { kNone = 0, kPageLocks = 1 };
+/// kSnapshot is the default read path: a kVisible scan at a stable snapshot
+/// timestamp that — like kNone — touches the LockManager not at all, but is
+/// accounted separately so tests and benches can prove the bypass.
+enum class ScanLocking : uint8_t { kNone = 0, kPageLocks = 1, kSnapshot = 2 };
 
 /// \brief Scan over a segmented table object, with tuple visibility /
 /// SEE DELETED / HISTORICAL semantics and segment pruning driven by the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
+
 namespace harbor {
 
 const char* LockModeToString(LockMode mode) {
@@ -121,6 +123,8 @@ Status LockManager::Acquire(LockKey key, LockOwnerId owner, LockMode mode) {
   if (upgrade && Covers(held_it->second, mode)) newly_held = held_it->second;
   e.holders[owner] = newly_held;
   if (!upgrade) owned_[owner].push_back(key);
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(site_id_, obs::CounterId::kLockAcquires);
   e.cv.notify_all();
   return Status::OK();
 }

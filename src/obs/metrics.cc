@@ -106,6 +106,10 @@ const char* CounterName(CounterId id) {
     case CounterId::kBufEvictions: return "buf.evictions";
     case CounterId::kBufDirtyVictimFlushes:
       return "buf.dirty_victim_flushes";
+    case CounterId::kLockAcquires: return "lock.acquires";
+    case CounterId::kReadSnapshotScans: return "read.snapshot_scans";
+    case CounterId::kReadLockScans: return "read.lock_scans";
+    case CounterId::kReadLockBypass: return "read.lock_bypass";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -138,6 +142,8 @@ const char* HistogramName(HistogramId id) {
       return "recovery.chunk_stall_ns";
     case HistogramId::kBufMissReadNs: return "buf.miss_read_ns";
     case HistogramId::kBufShardLockWaitNs: return "buf.shard_lock_wait_ns";
+    case HistogramId::kReadSnapshotLagEpochs:
+      return "read.snapshot_lag_epochs";
     case HistogramId::kCount: break;
   }
   return "unknown";

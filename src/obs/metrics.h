@@ -97,6 +97,10 @@ enum class CounterId : uint8_t {
   kBufMisses,              // misses (each cost a disk read)
   kBufEvictions,           // frames recycled to serve a miss
   kBufDirtyVictimFlushes,  // evictions that had to steal a dirty page
+  kLockAcquires,           // LockManager acquisitions granted (page + table)
+  kReadSnapshotScans,      // scans served on the lock-free snapshot path
+  kReadLockScans,          // scans served with S locks (forced locking reads)
+  kReadLockBypass,         // lock acquisitions snapshot scans did NOT take
   kCount,
 };
 
@@ -121,6 +125,7 @@ enum class HistogramId : uint8_t {
   kRecoveryChunkStallNs,   // fetch wait not hidden behind the previous apply
   kBufMissReadNs,          // wall latency of each miss's disk read
   kBufShardLockWaitNs,     // wall time spent acquiring a page-table shard
+  kReadSnapshotLagEpochs,  // Now() - snapshot ts at serve time (staleness)
   kCount,
 };
 

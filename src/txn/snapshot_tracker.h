@@ -1,0 +1,47 @@
+#ifndef HARBOR_TXN_SNAPSHOT_TRACKER_H_
+#define HARBOR_TXN_SNAPSHOT_TRACKER_H_
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace harbor {
+
+/// \brief A site's view of the cluster-wide snapshot low-water mark: the
+/// newest timestamp known to be below every in-flight commit, i.e. a time at
+/// which a read can run with no locks and never observe a partially applied
+/// transaction (§3.1's "some time in the recent past").
+///
+/// Marks originate at the TimestampAuthority as StableTime() values and are
+/// piggybacked on ordinary commit-protocol traffic (CommitTsMsg / TxnMsg) so
+/// that serving a snapshot read costs one relaxed atomic load, never the
+/// authority's mutex. The protocol is sound because stability is monotone:
+/// every commit reserves its timestamp at the authority's *current* epoch,
+/// which is strictly greater than any StableTime() the authority has ever
+/// returned — so a mark, once learned, can never be undercut by a later
+/// in-flight commit and stale marks are merely stale, never wrong. That is
+/// what makes blind max-merging safe: a recovering or long-partitioned site
+/// folding in an ancient mark cannot drag anyone backwards (Learn ignores
+/// non-increasing values), and nobody ever needs to wait for it to catch up.
+class SnapshotTracker {
+ public:
+  /// Folds in a mark learned from message traffic (monotonic max-merge).
+  void Learn(Timestamp mark) {
+    Timestamp cur = mark_.load(std::memory_order_relaxed);
+    while (mark > cur &&
+           !mark_.compare_exchange_weak(cur, mark,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// This site's current low-water mark; 0 until anything was learned.
+  Timestamp mark() const { return mark_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<Timestamp> mark_{0};
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_TXN_SNAPSHOT_TRACKER_H_

@@ -169,6 +169,51 @@ bool WaitForTxnDrain(Cluster* cluster, std::chrono::milliseconds timeout) {
   }
 }
 
+// A continuous lock-free reader running through the chaos: every Query in
+// the default (snapshot) mode must either succeed with an internally
+// consistent result — no logical tuple visible twice (the torn-read
+// symptom) — or fail cleanly; it must never stall, because it takes no
+// locks and never waits on a recovering site.
+struct SnapshotReaderStats {
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> successes{0};
+  std::atomic<int64_t> torn{0};
+  std::atomic<int64_t> stalled{0};
+  std::mutex mu;
+  std::string first_anomaly;
+
+  void Anomaly(std::atomic<int64_t>* counter, const std::string& what) {
+    counter->fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_anomaly.empty()) first_anomaly = what;
+  }
+};
+
+void SnapshotReaderLoop(Coordinator* coord, TableId table,
+                        std::atomic<bool>* stop, SnapshotReaderStats* stats) {
+  while (!stop->load(std::memory_order_relaxed)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto rows = coord->Query(table, Predicate());
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    stats->attempts.fetch_add(1);
+    if (elapsed > std::chrono::seconds(5)) {
+      stats->Anomaly(&stats->stalled, "snapshot query stalled");
+    }
+    if (rows.ok()) {
+      stats->successes.fetch_add(1);
+      std::set<int64_t> ids;
+      for (const Tuple& t : *rows) {
+        const int64_t id = t.value(0).AsInt64();
+        if (!ids.insert(id).second) {
+          stats->Anomaly(&stats->torn, "torn read: id " + std::to_string(id) +
+                                           " visible twice in one snapshot");
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   SCOPED_TRACE("protocol=" + std::string(CommitProtocolToString(protocol)) +
                " schedule=\"" + schedule.ToString() + "\"");
@@ -223,6 +268,22 @@ void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   // any path below dumps the merged trace while the observer is still
   // installed.
   test::TraceDumpOnFailure dump_on_failure;
+
+  // Snapshot readers run through the entire schedule — faults, crashes,
+  // settle, recovery — and are joined on every exit path.
+  SnapshotReaderStats reader_stats;
+  std::atomic<bool> reader_stop{false};
+  std::thread reader_thread(SnapshotReaderLoop, coord, table, &reader_stop,
+                            &reader_stats);
+  struct ReaderJoiner {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~ReaderJoiner() {
+      stop.store(true);
+      if (thread.joinable()) thread.join();
+    }
+  } reader_joiner{reader_stop, reader_thread};
+
   for (int op = 0; op < 40; ++op) {
     if (op % 6 == 5) {
       cluster->AdvanceEpoch();
@@ -323,6 +384,42 @@ void RunChaos(const ChaosSchedule& schedule, CommitProtocol protocol) {
   }
   cluster->AdvanceEpoch();
   const Timestamp now = cluster->authority()->StableTime();
+
+  // ---- Snapshot-reader invariants: the reader ran through every fault and
+  // through recovery itself. No torn result, no stall (snapshot reads take
+  // no locks and never wait on a recovering site), and it made progress.
+  reader_stop.store(true);
+  reader_thread.join();
+  EXPECT_GT(reader_stats.successes.load(), 0)
+      << "no snapshot query succeeded during the run";
+  EXPECT_EQ(reader_stats.torn.load(), 0) << reader_stats.first_anomaly;
+  EXPECT_EQ(reader_stats.stalled.load(), 0) << reader_stats.first_anomaly;
+
+  // Quiesced zero-lock check: with the workload drained and every site
+  // recovered, snapshot queries still acquire nothing from any LockManager,
+  // and the two read modes agree on the final state.
+  int64_t acquires_before = 0;
+  for (int i = 0; i < 3; ++i) {
+    acquires_before += cluster->worker(i)->locks()->acquires();
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> snap_rows,
+                       coord->Query(table, Predicate()));
+  int64_t acquires_after = 0;
+  for (int i = 0; i < 3; ++i) {
+    acquires_after += cluster->worker(i)->locks()->acquires();
+  }
+  EXPECT_EQ(acquires_after, acquires_before)
+      << "a snapshot query touched a lock manager after recovery";
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Tuple> lock_rows,
+      coord->Query(table, Predicate(), ReadMode::kLocking));
+  auto by_id = [](const std::vector<Tuple>& ts) {
+    std::map<int64_t, int64_t> out;
+    for (const Tuple& t : ts) out[t.value(0).AsInt64()] = t.value(1).AsInt64();
+    return out;
+  };
+  EXPECT_EQ(by_id(snap_rows), by_id(lock_rows))
+      << "snapshot and locking reads disagree on the settled state";
 
   // ---- Invariant 2: replica equivalence, now and at every recorded
   // stable timestamp (includes the recovered and permuted replicas).

@@ -144,6 +144,50 @@ TEST(MessagesTest, ScanDefaultsToMonolithicNoCursor) {
   EXPECT_FALSE(back.has_cursor);
 }
 
+TEST(MessagesTest, SnapshotFieldsRoundTrip) {
+  // The piggybacked stable-time mark on commit-protocol traffic.
+  CommitTsMsg commit;
+  commit.type = MsgType::kCommit;
+  commit.txn = 11;
+  commit.commit_ts = 42;
+  commit.stable_ts = 40;
+  ASSERT_OK_AND_ASSIGN(CommitTsMsg cback, CommitTsMsg::Decode(commit.Encode()));
+  EXPECT_EQ(cback.commit_ts, 42u);
+  EXPECT_EQ(cback.stable_ts, 40u);
+
+  TxnMsg abort;
+  abort.type = MsgType::kAbort;
+  abort.txn = 12;
+  abort.stable_ts = 39;
+  ASSERT_OK_AND_ASSIGN(TxnMsg tback, TxnMsg::Decode(abort.Encode()));
+  EXPECT_EQ(tback.stable_ts, 39u);
+
+  // Snapshot-read scans: lock-free flag plus the pinned insertion cap.
+  ScanMsg req;
+  req.spec.object_id = 7;
+  req.spec.mode = ScanMode::kVisible;
+  req.spec.as_of = 40;
+  req.snapshot_read = true;
+  req.cap_insertion_ts = 41;
+  ASSERT_OK_AND_ASSIGN(ScanMsg sback, ScanMsg::Decode(req.Encode()));
+  EXPECT_TRUE(sback.snapshot_read);
+  EXPECT_EQ(sback.cap_insertion_ts, 41u);
+  EXPECT_EQ(sback.spec.as_of, 40u);
+
+  ScanReplyMsg reply;
+  reply.schema = SmallSchema();
+  reply.cap_insertion_ts = 43;
+  ASSERT_OK_AND_ASSIGN(ScanReplyMsg rback, ScanReplyMsg::Decode(reply.Encode()));
+  EXPECT_EQ(rback.cap_insertion_ts, 43u);
+
+  // Defaults: both new fields decode to "absent" on old-style messages.
+  ScanMsg plain;
+  plain.spec.object_id = 1;
+  ASSERT_OK_AND_ASSIGN(ScanMsg pback, ScanMsg::Decode(plain.Encode()));
+  EXPECT_FALSE(pback.snapshot_read);
+  EXPECT_EQ(pback.cap_insertion_ts, 0u);
+}
+
 TEST(MessagesTest, ComingOnlineRoundTrip) {
   ComingOnlineMsg m;
   m.site = 3;

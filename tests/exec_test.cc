@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "buffer/buffer_pool.h"
+#include "core/cluster.h"
 #include "exec/dml.h"
 #include "exec/operators.h"
 #include "exec/predicate.h"
@@ -462,6 +463,72 @@ TEST_F(ExecTest, ExecDeleteCountsMatches) {
   auto scan = Scan(spec);
   ASSERT_OK_AND_ASSIGN(auto rows, CollectAll(scan.get()));
   EXPECT_EQ(rows.size(), 6u);
+}
+
+// ------------------------------------- chunked-scan insertion-time cap pin
+
+// Regression: Worker::HandleScan used to recompute a chunked stream's upper
+// insertion-time bound from the authority's Now() on EVERY chunk attempt, so
+// rows committed while the stream was in flight leaked into later chunks.
+// The serving site must pin the cap once, return it in the reply, and honor
+// the echoed value on every subsequent chunk.
+TEST(ExecChunkCapTest, ChunkedScanCapIsPinnedAcrossChunks) {
+  ClusterOptions opt;
+  opt.num_workers = 1;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec tspec;
+  tspec.name = "t";
+  tspec.schema = SmallSchema();
+  tspec.default_segment_page_budget = 2;
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(tspec));
+  Coordinator* coord = cluster->coordinator();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(
+        table, {Value(int64_t{i}), Value(int64_t{i}), Value("old")}));
+  }
+  cluster->AdvanceEpoch();
+
+  // The recovery Phase 2 shape: chunked SEE DELETED, committed tuples only.
+  ScanMsg msg;
+  msg.spec.object_id =
+      cluster->worker(0)->local_catalog()->objects()[0]->object_id;
+  msg.spec.mode = ScanMode::kSeeDeleted;
+  msg.spec.exclude_uncommitted = true;
+  msg.max_tuples = 4;
+  ASSERT_OK_AND_ASSIGN(Message first_raw,
+                       cluster->network()->Call(0, 1, msg.Encode()));
+  ASSERT_OK_AND_ASSIGN(ScanReplyMsg reply, ScanReplyMsg::Decode(first_raw));
+  ASSERT_TRUE(reply.truncated);
+  ASSERT_GT(reply.cap_insertion_ts, 0u) << "serving site did not pin a cap";
+  const Timestamp pinned_cap = reply.cap_insertion_ts;
+
+  // Rows committed while the stream is in flight: must NOT appear in any
+  // later chunk of this stream.
+  cluster->AdvanceEpoch();
+  for (int i = 10; i < 15; ++i) {
+    ASSERT_OK(coord->InsertTxn(
+        table, {Value(int64_t{i}), Value(int64_t{i}), Value("new")}));
+  }
+  cluster->AdvanceEpoch();
+
+  size_t total = reply.tuples.size();
+  while (reply.truncated) {
+    msg.has_cursor = true;
+    msg.cursor_insertion_ts = reply.last_insertion_ts;
+    msg.cursor_tuple_id = reply.last_tuple_id;
+    msg.cap_insertion_ts = reply.cap_insertion_ts;  // echo the pin
+    ASSERT_OK_AND_ASSIGN(Message raw,
+                         cluster->network()->Call(0, 1, msg.Encode()));
+    ASSERT_OK_AND_ASSIGN(reply, ScanReplyMsg::Decode(raw));
+    EXPECT_EQ(reply.cap_insertion_ts, pinned_cap) << "cap drifted mid-stream";
+    for (const Tuple& t : reply.tuples) {
+      EXPECT_LE(t.insertion_ts(), pinned_cap);
+    }
+    total += reply.tuples.size();
+  }
+  EXPECT_EQ(total, 10u) << "rows committed mid-stream leaked into the chunked "
+                           "scan";
 }
 
 }  // namespace
