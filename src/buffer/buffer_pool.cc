@@ -351,6 +351,57 @@ Result<PageHandle> BufferPool::GetPage(PageId page, bool sequential) {
   }
 }
 
+Result<PageHandle> BufferPool::CreatePage(PageId page) {
+  const size_t home = std::hash<PageId>()(page) & shard_mask_;
+  Shard& s = *shards_[home];
+  for (;;) {
+    std::unique_lock<std::mutex> lk(s.mu);
+    auto it = s.table.find(page);
+    if (it != s.table.end()) {
+      const size_t idx = it->second;
+      Frame& f = *frames_[idx];
+      if (f.state.load(std::memory_order_acquire) == FrameState::kLoading) {
+        // A concurrent GetPage is reading the (all-zero) page; join it.
+        s.load_cv.wait(lk, [&] {
+          auto it2 = s.table.find(page);
+          return it2 == s.table.end() ||
+                 frames_[it2->second]->state.load(std::memory_order_acquire) !=
+                     FrameState::kLoading;
+        });
+        lk.unlock();
+        continue;
+      }
+      f.pin_count.fetch_add(1, std::memory_order_acq_rel);
+      f.last_used.store(++s.tick, std::memory_order_relaxed);
+      ++s.hits;
+      lk.unlock();
+      obs::Count(opts_.site_id, obs::CounterId::kBufHits);
+      return PageHandle(this, idx);
+    }
+    lk.unlock();
+
+    HARBOR_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(home));
+    Frame& f = *frames_[idx];
+
+    lk.lock();
+    if (s.table.count(page) != 0) {
+      lk.unlock();
+      ReleaseFreeFrame(idx);
+      continue;
+    }
+    f.page = page;
+    std::memset(f.data.get(), 0, kPageSize);
+    f.state.store(FrameState::kReady, std::memory_order_release);
+    f.pin_count.store(1, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+    f.last_used.store(++s.tick, std::memory_order_relaxed);
+    s.table[page] = idx;
+    lk.unlock();
+    return PageHandle(this, idx);
+  }
+}
+
 Status BufferPool::FlushPage(PageId page) {
   Shard& s = ShardFor(page);
   std::unique_lock<std::mutex> lk(s.mu);

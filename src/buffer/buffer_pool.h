@@ -120,6 +120,13 @@ class BufferPool {
   /// disk cost model for the potential miss.
   Result<PageHandle> GetPage(PageId page, bool sequential = false);
 
+  /// Pins a freshly allocated page, installing a zeroed frame without a
+  /// disk read: the file layer guarantees new pages read back as zeros, so
+  /// fetching them would charge a pointless I/O (it matters — appends are
+  /// the recovery copy path's hot loop). Falls back to a plain hit if the
+  /// page is already cached.
+  Result<PageHandle> CreatePage(PageId page);
+
   /// Flushes one page if dirty (leaves it cached and clean).
   Status FlushPage(PageId page);
 

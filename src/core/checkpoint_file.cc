@@ -14,6 +14,8 @@ namespace harbor {
 namespace {
 constexpr uint32_t kMagicV1 = 0x48524b50;  // "HRKP": no resume section
 constexpr uint32_t kMagicV2 = 0x48524b32;  // "HRK2": + stream watermarks
+constexpr uint32_t kMagicV3 = 0x48524b33;  // "HRK3": multi-stream watermarks
+                                           // with per-stream windows
 }  // namespace
 
 Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
@@ -33,7 +35,7 @@ Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
   ::close(fd);
   ByteBufferReader in(buf);
   HARBOR_ASSIGN_OR_RETURN(uint32_t magic, in.ReadU32());
-  if (magic != kMagicV1 && magic != kMagicV2) {
+  if (magic != kMagicV1 && magic != kMagicV2 && magic != kMagicV3) {
     return Status::Corruption("bad checkpoint magic");
   }
   CheckpointRecord rec;
@@ -45,6 +47,8 @@ Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
     rec.per_object[obj] = t;
   }
   if (magic == kMagicV2) {
+    // One single-stream watermark per object; upgrades to stream 0 over the
+    // whole round range (window bounds 0).
     HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
     for (uint32_t i = 0; i < n; ++i) {
       HARBOR_ASSIGN_OR_RETURN(ObjectId obj, in.ReadU32());
@@ -52,7 +56,23 @@ Result<CheckpointRecord> ReadCheckpointRecord(const std::string& dir) {
       HARBOR_ASSIGN_OR_RETURN(r.round_hwm, in.ReadU64());
       HARBOR_ASSIGN_OR_RETURN(r.insertion_ts, in.ReadU64());
       HARBOR_ASSIGN_OR_RETURN(r.tuple_id, in.ReadU64());
-      rec.resume[obj] = r;
+      rec.resume[obj].push_back(r);
+    }
+  } else if (magic == kMagicV3) {
+    HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+    for (uint32_t i = 0; i < n; ++i) {
+      HARBOR_ASSIGN_OR_RETURN(ObjectId obj, in.ReadU32());
+      HARBOR_ASSIGN_OR_RETURN(uint32_t streams, in.ReadU32());
+      for (uint32_t s = 0; s < streams; ++s) {
+        StreamResume r;
+        HARBOR_ASSIGN_OR_RETURN(r.round_hwm, in.ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(r.insertion_ts, in.ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(r.tuple_id, in.ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(r.stream_index, in.ReadU32());
+        HARBOR_ASSIGN_OR_RETURN(r.window_lo, in.ReadU64());
+        HARBOR_ASSIGN_OR_RETURN(r.window_hi, in.ReadU64());
+        rec.resume[obj].push_back(r);
+      }
     }
   }
   return rec;
@@ -63,20 +83,37 @@ Status WriteCheckpointRecord(const std::string& dir,
   ByteBufferWriter out;
   // Records without watermarks stay on the V1 format so checkpoint files
   // written by a normally-running site remain readable by older builds.
-  out.WriteU32(record.resume.empty() ? kMagicV1 : kMagicV2);
+  // Records with watermarks are written as V3 (per-stream entries); V2
+  // files remain readable and upgrade on the next write.
+  bool any_resume = false;
+  for (const auto& [obj, streams] : record.resume) {
+    if (!streams.empty()) any_resume = true;
+  }
+  out.WriteU32(any_resume ? kMagicV3 : kMagicV1);
   out.WriteU64(record.global_time);
   out.WriteU32(static_cast<uint32_t>(record.per_object.size()));
   for (const auto& [obj, t] : record.per_object) {
     out.WriteU32(obj);
     out.WriteU64(t);
   }
-  if (!record.resume.empty()) {
-    out.WriteU32(static_cast<uint32_t>(record.resume.size()));
-    for (const auto& [obj, r] : record.resume) {
+  if (any_resume) {
+    uint32_t objects = 0;
+    for (const auto& [obj, streams] : record.resume) {
+      if (!streams.empty()) ++objects;
+    }
+    out.WriteU32(objects);
+    for (const auto& [obj, streams] : record.resume) {
+      if (streams.empty()) continue;
       out.WriteU32(obj);
-      out.WriteU64(r.round_hwm);
-      out.WriteU64(r.insertion_ts);
-      out.WriteU64(r.tuple_id);
+      out.WriteU32(static_cast<uint32_t>(streams.size()));
+      for (const StreamResume& r : streams) {
+        out.WriteU64(r.round_hwm);
+        out.WriteU64(r.insertion_ts);
+        out.WriteU64(r.tuple_id);
+        out.WriteU32(r.stream_index);
+        out.WriteU64(r.window_lo);
+        out.WriteU64(r.window_hi);
+      }
     }
   }
   const std::string path = dir + "/checkpoint.meta";

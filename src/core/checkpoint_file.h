@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/types.h"
@@ -29,6 +30,16 @@ struct StreamResume {
   Timestamp round_hwm = 0;
   Timestamp insertion_ts = 0;
   TupleId tuple_id = 0;
+  /// Which of the round's parallel catch-up streams wrote this watermark,
+  /// and the disjoint insertion-ts window (window_lo, window_hi] that
+  /// stream copies. Parallel multi-buddy recovery splits the round's
+  /// (checkpoint, round_hwm] range into such windows, one stream per buddy;
+  /// a resumed round rebuilds the interrupted round's geometry from the
+  /// stored windows. window_hi == 0 means "the whole round range" — the
+  /// single-stream form, and how legacy V2 records read back.
+  uint32_t stream_index = 0;
+  Timestamp window_lo = 0;
+  Timestamp window_hi = 0;
 
   bool operator==(const StreamResume&) const = default;
 };
@@ -36,19 +47,21 @@ struct StreamResume {
 struct CheckpointRecord {
   Timestamp global_time = 0;
   std::unordered_map<ObjectId, Timestamp> per_object;
-  /// Mid-stream Phase-2 watermarks, keyed like per_object. An entry exists
-  /// only while that object's catch-up stream is interrupted; it is cleared
-  /// by the round's object checkpoint and by global-checkpoint promotion.
-  std::unordered_map<ObjectId, StreamResume> resume;
+  /// Mid-stream Phase-2 watermarks, keyed like per_object: one entry per
+  /// interrupted catch-up stream of the object (several when the round was
+  /// fanned out over multiple buddies). Entries exist only while the
+  /// object's catch-up is interrupted; they are cleared by the round's
+  /// object checkpoint and by global-checkpoint promotion.
+  std::unordered_map<ObjectId, std::vector<StreamResume>> resume;
 
   Timestamp TimeFor(ObjectId object) const {
     auto it = per_object.find(object);
     return it == per_object.end() ? global_time : it->second;
   }
 
-  const StreamResume* ResumeFor(ObjectId object) const {
+  const std::vector<StreamResume>* ResumeFor(ObjectId object) const {
     auto it = resume.find(object);
-    return it == resume.end() ? nullptr : &it->second;
+    return it == resume.end() || it->second.empty() ? nullptr : &it->second;
   }
 };
 

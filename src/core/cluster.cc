@@ -49,6 +49,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterOptions options) {
   copt.protocol = options.protocol;
   copt.group_commit = options.group_commit;
   copt.continue_on_worker_failure = options.continue_on_worker_failure;
+  copt.snapshot_max_lag_epochs = options.snapshot_max_lag_epochs;
   cluster->coordinators_.push_back(std::make_unique<Coordinator>(
       cluster->network_.get(), &cluster->catalog_, &cluster->authority_,
       &cluster->liveness_, copt));
@@ -89,6 +90,7 @@ Result<Coordinator*> Cluster::AddCoordinator() {
   copt.protocol = options_.protocol;
   copt.group_commit = options_.group_commit;
   copt.continue_on_worker_failure = options_.continue_on_worker_failure;
+  copt.snapshot_max_lag_epochs = options_.snapshot_max_lag_epochs;
   coordinators_.push_back(std::make_unique<Coordinator>(
       network_.get(), &catalog_, &authority_, &liveness_, copt));
   HARBOR_RETURN_NOT_OK(coordinators_.back()->Start());
@@ -104,6 +106,22 @@ std::vector<SiteId> Cluster::CoordinatorSites() const {
 Result<TableId> Cluster::CreateTable(const TableSpec& spec) {
   HARBOR_ASSIGN_OR_RETURN(TableId table,
                           catalog_.AddTable(spec.name, spec.schema));
+  if (spec.replicas.empty() && spec.replication_factor > 0) {
+    // Deterministic K-safe placement: replication_factor full replicas on
+    // the rendezvous-selected worker sites (not one on every worker).
+    PlacementSpec pspec;
+    pspec.replication_factor = spec.replication_factor;
+    pspec.segment_page_budget = spec.default_segment_page_budget;
+    pspec.indexed_column = spec.indexed_column;
+    std::vector<SiteId> sites;
+    sites.reserve(static_cast<size_t>(num_workers()));
+    for (int i = 0; i < num_workers(); ++i) sites.push_back(WorkerSite(i));
+    HARBOR_RETURN_NOT_OK(catalog_.PlaceTable(table, sites, pspec).status());
+    for (auto& w : workers_) {
+      if (w->running()) HARBOR_RETURN_NOT_OK(w->ProvisionReplicas());
+    }
+    return table;
+  }
   std::vector<ReplicaSpec> replicas = spec.replicas;
   if (replicas.empty()) {
     for (int i = 0; i < num_workers(); ++i) {

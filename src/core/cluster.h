@@ -34,6 +34,10 @@ struct ClusterOptions {
   std::chrono::milliseconds lock_timeout{500};
   bool continue_on_worker_failure = false;
   int worker_server_threads = 8;
+  /// Forwarded to every coordinator: how stale (in epochs behind Now) the
+  /// gossip-learned snapshot mark may be before SnapshotTime() falls back
+  /// to the authority (see CoordinatorOptions::snapshot_max_lag_epochs).
+  int64_t snapshot_max_lag_epochs = 1;
 };
 
 /// One replica placement in a CreateTable request.
@@ -53,9 +57,16 @@ struct ReplicaSpec {
 struct TableSpec {
   std::string name;
   Schema schema;
-  /// Empty = one full replica per worker, logical column order, the
-  /// default segment budget below.
+  /// Empty = one full replica per worker (or a deterministic K-safe subset
+  /// when replication_factor is set), logical column order, the default
+  /// segment budget below.
   std::vector<ReplicaSpec> replicas;
+  /// When > 0 and `replicas` is empty, the table is placed with
+  /// GlobalCatalog::PlaceTable: this many full replicas on the worker
+  /// sites with the highest rendezvous hash — K-safety = factor - 1 —
+  /// instead of one replica on every worker. 0 keeps the replicate-
+  /// everywhere default.
+  uint32_t replication_factor = 0;
   uint32_t default_segment_page_budget = 64;
   /// Default secondary-index column applied to every replica ("" = none).
   std::string indexed_column;

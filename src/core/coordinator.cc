@@ -534,9 +534,12 @@ Timestamp Coordinator::StampStableTime() {
 Timestamp Coordinator::SnapshotTime() {
   // Fast path: the piggyback-learned mark, when it already covers our own
   // newest commit (read-your-writes) and is not too far behind the epoch.
+  // A never-learned mark (0) must always take the fallback: on a quiescent
+  // cluster no commit ever gossips a mark, and with a generous lag setting
+  // the fast path would otherwise serve time-zero snapshots forever.
   const Timestamp floor = last_commit_.mark();
   const Timestamp mark = snapshots_.mark();
-  if (mark >= floor &&
+  if (mark > 0 && mark >= floor &&
       authority_->Now() - mark <=
           static_cast<Timestamp>(options_.snapshot_max_lag_epochs)) {
     return mark;

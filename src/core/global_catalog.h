@@ -48,6 +48,21 @@ struct RecoveryObject {
   PartitionRange predicate;
 };
 
+/// \brief Desired shape of a deterministic K-safe placement (PlaceTable):
+/// `replication_factor` copies of each shard, `shards` horizontal shards
+/// over `shard_column`'s [domain_lo, domain_hi) key domain. shards == 1
+/// places full-table replicas. The replication factor is the paper's K+1:
+/// the table survives replication_factor - 1 simultaneous site failures.
+struct PlacementSpec {
+  uint32_t replication_factor = 2;
+  uint32_t shards = 1;
+  std::string shard_column;
+  int64_t domain_lo = 0;
+  int64_t domain_hi = 0;
+  uint32_t segment_page_budget = 64;
+  std::string indexed_column;
+};
+
 /// \brief The replicated cluster-wide catalog: tables, schemas, and replica
 /// placements (§5.1 assumes the catalog stores exactly this).
 ///
@@ -81,6 +96,33 @@ class GlobalCatalog {
   /// i.e. more than K failures hit this table (§3.2).
   Result<std::vector<RecoveryObject>> PlanCover(
       TableId table, const PartitionRange& target, SiteId exclude_site,
+      const std::function<bool(SiteId)>& usable) const;
+
+  /// Deterministically places `table` across `sites` without a stored
+  /// assignment map: each shard's replicas are the spec.replication_factor
+  /// sites with the highest rendezvous hash of (table, shard, site).
+  /// Placement is therefore computable by every node from the catalog alone,
+  /// stable when unrelated sites join or leave, and spreads shards evenly
+  /// when the cluster is much larger than the replication factor. Returns
+  /// the new object ids (shard-major, replica-minor).
+  Result<std::vector<ObjectId>> PlaceTable(TableId table,
+                                           const std::vector<SiteId>& sites,
+                                           const PlacementSpec& spec);
+
+  /// The table's K-safety: the number of simultaneous site failures that
+  /// provably leaves every key of the table's domain coverable — the
+  /// minimum replica count over the domain, minus one (§3.2). Fails with
+  /// kNotFound for an unplaced table.
+  Result<int> KSafety(TableId table) const;
+
+  /// Every usable replica whose partition fully contains `range`, in the
+  /// same rotation order PlanCover uses to spread concurrent recoveries
+  /// over different buddies. Parallel recovery assigns its per-object
+  /// streams to distinct entries and fails a dying stream over to the next
+  /// one at the stream cursor. kUnavailable when no usable replica covers
+  /// the range.
+  Result<std::vector<RecoveryObject>> ReplicasCovering(
+      TableId table, const PartitionRange& range, SiteId exclude_site,
       const std::function<bool(SiteId)>& usable) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "core/recovery_manager.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -16,16 +17,32 @@ RecoveryManager::RecoveryManager(Worker* worker, RecoveryOptions options)
     : worker_(worker), options_(std::move(options)) {}
 
 bool RecoveryManager::BuddyUsable(SiteId site) const {
+  // Only a fully online site may serve as a recovery buddy: a site that is
+  // itself recovering holds incomplete replicas (its phase-2 copies are
+  // still in flight) and must never be read from, even though its endpoint
+  // answers (§5.5.2). This is deliberately Get() == kOnline, not "not
+  // down" — kRecovering is excluded.
   return site != worker_->site_id() &&
-         worker_->liveness()->IsOnline(site);
+         worker_->liveness()->Get(site) == SiteState::kOnline;
+}
+
+Status RecoveryManager::AnnotateUnavailable(const ObjectPlan& plan,
+                                            Status st) const {
+  if (st.ok() || !st.IsUnavailable()) return st;
+  // Every replica of this object is gone (> K failures): name the object so
+  // the error surfaced after the bounded retry loop says what is stuck.
+  return Status::Unavailable(
+      "recovery of object " + std::to_string(plan.obj->object_id) +
+      " (table " + std::to_string(plan.obj->table_id) +
+      "): " + st.message());
 }
 
 Status RecoveryManager::ComputeCover(ObjectPlan* plan) {
-  HARBOR_ASSIGN_OR_RETURN(
-      plan->cover,
-      worker_->global_catalog()->PlanCover(
-          plan->obj->table_id, plan->obj->partition, worker_->site_id(),
-          [this](SiteId s) { return BuddyUsable(s); }));
+  auto cover = worker_->global_catalog()->PlanCover(
+      plan->obj->table_id, plan->obj->partition, worker_->site_id(),
+      [this](SiteId s) { return BuddyUsable(s); });
+  if (!cover.ok()) return AnnotateUnavailable(*plan, cover.status());
+  plan->cover = std::move(*cover);
   return Status::OK();
 }
 
@@ -38,48 +55,36 @@ Status RecoveryManager::RunPhase1(ObjectPlan* plan) {
   TableObject* obj = plan->obj;
 
   // DELETE LOCALLY FROM rec SEE DELETED
-  //   WHERE insertion_time > T_keep OR insertion_time = uncommitted
-  // (the uncommitted sentinel is numerically > any checkpoint, §5.2).
-  // Normally T_keep is the object checkpoint; with a durable mid-stream
-  // watermark it is the watermark's insertion_ts — chunks applied and
-  // flushed before the previous attempt died stay, so the resumed stream
-  // does not re-copy them.
-  const bool resuming = plan->resume.has_value();
-  const Timestamp keep_through =
-      resuming ? plan->resume->insertion_ts : plan->checkpoint;
+  //   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+  // (the uncommitted sentinel is numerically > any checkpoint, §5.2) —
+  // EXCEPT versions claimed by a durable mid-stream watermark: each
+  // watermark promises that, within its stream's insertion-time window,
+  // every version key at or below its (insertion_ts, tuple_id) cursor was
+  // applied and flushed before the previous attempt died, so the resumed
+  // stream will not re-ship them. Keys at the cursor timestamp but past the
+  // cursor tuple id belong to later, possibly-unflushed chunks and must go.
+  const auto covered = [plan](Timestamp ts, TupleId tid) {
+    for (const StreamResume& r : plan->resume) {
+      // Window (window_lo, window_hi]; 0 bounds mean unbounded (legacy V2
+      // watermarks cover the whole round range). Windows are disjoint, so
+      // the first containing window decides.
+      if (r.window_lo != 0 && ts <= r.window_lo) continue;
+      if (r.window_hi != 0 && ts > r.window_hi) continue;
+      return ts < r.insertion_ts ||
+             (ts == r.insertion_ts && tid <= r.tuple_id);
+    }
+    return false;
+  };
   {
     ScanSpec spec;
     spec.object_id = obj->object_id;
     spec.mode = ScanMode::kSeeDeleted;
     spec.has_insertion_after = true;
-    spec.insertion_after = keep_through;
+    spec.insertion_after = plan->checkpoint;
     SeqScanOperator scan(store, obj, std::move(spec));
     HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> victims, CollectAll(&scan));
     for (const Tuple& t : victims) {
-      HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
-    }
-    plan->stats.phase1_removed = victims.size();
-  }
-
-  // The watermark names the last complete (insertion_ts, tuple_id) group:
-  // versions AT the watermark timestamp but with tuple ids beyond the
-  // cursor belong to later, possibly-unflushed chunks. Remove them so the
-  // resumed stream (which re-ships everything strictly past the cursor)
-  // cannot create duplicates.
-  if (resuming) {
-    ScanSpec spec;
-    spec.object_id = obj->object_id;
-    spec.mode = ScanMode::kSeeDeleted;
-    if (keep_through > 0) {
-      spec.has_insertion_after = true;
-      spec.insertion_after = keep_through - 1;
-    }
-    spec.has_insertion_at_or_before = true;
-    spec.insertion_at_or_before = keep_through;
-    SeqScanOperator scan(store, obj, std::move(spec));
-    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> boundary, CollectAll(&scan));
-    for (const Tuple& t : boundary) {
-      if (t.tuple_id() <= plan->resume->tuple_id) continue;
+      if (covered(t.insertion_ts(), t.tuple_id())) continue;
       HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
       plan->stats.phase1_removed++;
     }
@@ -181,24 +186,28 @@ Status RecoveryManager::StreamScan(
   }
 }
 
-Status RecoveryManager::ApplyRemoteDeletions(ObjectPlan* plan,
-                                             const RecoveryObject& piece,
-                                             Timestamp ins_at_or_before,
-                                             Timestamp del_after,
-                                             Timestamp hwm, bool historical,
-                                             size_t* copied) {
+Status RecoveryManager::ApplyRemoteDeletions(
+    ObjectPlan* plan, const RecoveryObject& piece, Timestamp ins_after,
+    Timestamp ins_at_or_before, Timestamp del_after, Timestamp hwm,
+    bool historical, size_t* copied, bool* retriable) {
   // SELECT REMOTELY tuple_id, deletion_time FROM recovery_object
   //   SEE DELETED [HISTORICAL WITH TIME hwm]
   //   WHERE recovery_predicate AND insertion_time <= ins_bound
-  //     AND deletion_time > from
-  // The two bounds coincide except on a resumed round, where the insertion
-  // bound widens to the watermark so deletions of already-copied tuples
-  // (undone by Phase 1) are re-applied.
+  //     [AND insertion_time > ins_after] AND deletion_time > from
+  // The insertion bounds restrict the pass to tuples Phase 1 *kept* — the
+  // base below the checkpoint and, on a resumed stream, the already-copied
+  // prefix of its window — whose post-checkpoint deletions Phase 1 undid.
+  // Tuples the insertion streams (re-)ship arrive with deletion state
+  // included and need no pass.
   ScanMsg scan;
   scan.spec.object_id = piece.object_id;
   scan.spec.mode = historical ? ScanMode::kSeeDeletedHistorical
                               : ScanMode::kSeeDeleted;
   scan.spec.as_of = hwm;
+  if (ins_after > 0) {
+    scan.spec.has_insertion_after = true;
+    scan.spec.insertion_after = ins_after;
+  }
   scan.spec.has_insertion_at_or_before = true;
   scan.spec.insertion_at_or_before = ins_at_or_before;
   scan.spec.has_deletion_after = true;
@@ -207,60 +216,73 @@ Status RecoveryManager::ApplyRemoteDeletions(ObjectPlan* plan,
   scan.minimal_projection = true;
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
-  return StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
-    if (decoded.id_deletions.empty()) return Status::OK();
-
-    // UPDATE LOCALLY rec SET deletion_time = del_time
-    //   WHERE tuple_id = tup_id AND deletion_time = 0
-    // The matching local version shares the remote version's insertion
-    // time, so the scan below prunes to the segments whose insertion range
-    // covers the shipped timestamps — the local side of recovery pays per
-    // *affected historical segment*, exactly like the remote side (§6.4.2).
-    std::unordered_map<TupleId, Timestamp> wanted;
-    Timestamp lo = decoded.id_deletions.front().insertion_ts;
-    Timestamp hi = lo;
-    for (const IdDeletion& d : decoded.id_deletions) {
-      wanted.emplace(d.tuple_id, d.deletion_ts);
-      lo = std::min(lo, d.insertion_ts);
-      hi = std::max(hi, d.insertion_ts);
-    }
-    ScanSpec local;
-    local.object_id = obj->object_id;
-    local.mode = ScanMode::kSeeDeleted;
-    if (lo > 0) {
-      // lo == 0 must NOT set insertion_after = lo - 1: the uint64 wraps to
-      // UINT64_MAX and the scan silently matches nothing, dropping every
-      // shipped deletion.
-      local.has_insertion_after = true;
-      local.insertion_after = lo - 1;
-    }
-    local.has_insertion_at_or_before = true;
-    local.insertion_at_or_before = hi;
-    SeqScanOperator local_scan(store, obj, std::move(local));
-    HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> candidates,
-                            CollectAll(&local_scan));
-    for (const Tuple& t : candidates) {
-      if (t.deletion_ts() != kNotDeleted) continue;  // older version
-      auto it = wanted.find(t.tuple_id());
-      if (it == wanted.end()) continue;
-      HARBOR_RETURN_NOT_OK(
-          store->SetDeletionTs(obj, t.record_id(), it->second));
-      (*copied)++;
-    }
-    return Status::OK();
+  Status apply_status;
+  Status st = StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
+    apply_status = [&]() -> Status {
+      if (decoded.id_deletions.empty()) return Status::OK();
+      // UPDATE LOCALLY rec SET deletion_time = del_time
+      //   WHERE tuple_id = tup_id AND deletion_time = 0
+      // The matching local version shares the remote version's insertion
+      // time, so the scan below prunes to the segments whose insertion range
+      // covers the shipped timestamps — the local side of recovery pays per
+      // *affected historical segment*, exactly like the remote side (§6.4.2).
+      // Skipping already-deleted versions also makes the pass idempotent, so
+      // a failed-over stream can simply re-run it.
+      std::unordered_map<TupleId, Timestamp> wanted;
+      Timestamp lo = decoded.id_deletions.front().insertion_ts;
+      Timestamp hi = lo;
+      for (const IdDeletion& d : decoded.id_deletions) {
+        wanted.emplace(d.tuple_id, d.deletion_ts);
+        lo = std::min(lo, d.insertion_ts);
+        hi = std::max(hi, d.insertion_ts);
+      }
+      ScanSpec local;
+      local.object_id = obj->object_id;
+      local.mode = ScanMode::kSeeDeleted;
+      if (lo > 0) {
+        // lo == 0 must NOT set insertion_after = lo - 1: the uint64 wraps to
+        // UINT64_MAX and the scan silently matches nothing, dropping every
+        // shipped deletion.
+        local.has_insertion_after = true;
+        local.insertion_after = lo - 1;
+      }
+      local.has_insertion_at_or_before = true;
+      local.insertion_at_or_before = hi;
+      SeqScanOperator local_scan(store, obj, std::move(local));
+      HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> candidates,
+                              CollectAll(&local_scan));
+      for (const Tuple& t : candidates) {
+        if (t.deletion_ts() != kNotDeleted) continue;  // older version
+        auto it = wanted.find(t.tuple_id());
+        if (it == wanted.end()) continue;
+        HARBOR_RETURN_NOT_OK(
+            store->SetDeletionTs(obj, t.record_id(), it->second));
+        (*copied)++;
+      }
+      return Status::OK();
+    }();
+    return apply_status;
   });
+  if (retriable != nullptr) {
+    // Only an abruptly-closed-socket failure (kUnavailable, §5.5.1) is safe
+    // to fail over — whether it surfaced on the wire or out of the apply
+    // callback before any row of the chunk landed. Any other apply error
+    // would repeat identically against every replica.
+    *retriable = !st.ok() && st.IsUnavailable() &&
+                 (apply_status.ok() || apply_status.IsUnavailable());
+  }
+  return st;
 }
 
-Status RecoveryManager::CopyRemoteInsertions(ObjectPlan* plan,
-                                             const RecoveryObject& piece,
-                                             Timestamp from_exclusive,
-                                             Timestamp hwm, bool historical,
-                                             bool durable_watermarks,
-                                             size_t* copied) {
+Status RecoveryManager::CopyRemoteInsertions(
+    ObjectPlan* plan, const RecoveryObject& piece, const StreamWindow& window,
+    Timestamp hwm, bool historical, bool durable_watermarks,
+    StreamCursor* cursor, Timestamp* cap, size_t* copied, bool* retriable) {
   // INSERT LOCALLY INTO rec
   //   (SELECT REMOTELY * FROM recovery_object SEE DELETED
   //      [HISTORICAL WITH TIME hwm]
-  //      WHERE recovery_predicate AND insertion_time > from
+  //      WHERE recovery_predicate AND insertion_time > window.lo
+  //        [AND insertion_time <= window.hi]
   //        [AND insertion_time != uncommitted])
   ScanMsg scan;
   scan.spec.object_id = piece.object_id;
@@ -268,59 +290,104 @@ Status RecoveryManager::CopyRemoteInsertions(ObjectPlan* plan,
                               : ScanMode::kSeeDeleted;
   scan.spec.as_of = hwm;
   scan.spec.has_insertion_after = true;
-  scan.spec.insertion_after = from_exclusive;
+  scan.spec.insertion_after = window.lo;
+  if (window.hi != 0 && window.hi < hwm) {
+    // An interior window carries its own upper bound; the top window (and
+    // the legacy single stream) stays unbounded and rides the buddy-pinned
+    // cap instead.
+    scan.spec.has_insertion_at_or_before = true;
+    scan.spec.insertion_at_or_before = window.hi;
+  }
   scan.spec.exclude_uncommitted = !historical;  // §5.4.1's extra check
   scan.spec.range = piece.predicate;
   const SiteId self = worker_->site_id();
-  if (durable_watermarks && plan->resume.has_value()) {
-    // Resume the interrupted stream strictly past the durable watermark;
-    // Phase 1 kept everything at or below it.
+  if (cursor != nullptr && cursor->has_value()) {
+    // Resume the stream strictly past the cursor — the durable watermark of
+    // a previous attempt, or the in-memory position of a failed-over
+    // stream; everything at or below it is already applied.
     scan.has_cursor = true;
-    scan.cursor_insertion_ts = plan->resume->insertion_ts;
-    scan.cursor_tuple_id = plan->resume->tuple_id;
+    scan.cursor_insertion_ts = (*cursor)->first;
+    scan.cursor_tuple_id = (*cursor)->second;
     obs::Count(self, obs::CounterId::kRecoveryStreamResumes);
     obs::Trace(self, "recovery.stream.resume", 0,
                static_cast<int64_t>(plan->obj->object_id),
-               static_cast<int64_t>(plan->resume->insertion_ts));
+               static_cast<int64_t>((*cursor)->first));
+  }
+  if (cap != nullptr && *cap > 0) {
+    // Carry the original buddy's pinned insertion cap across failover so
+    // the stream stays bounded to the same logical tuple set.
+    scan.cap_insertion_ts = *cap;
   }
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
   int chunks_since_mark = 0;
-  return StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
-    if (durable_watermarks) {
-      HARBOR_FAULT_POINT("recovery.phase2.chunk", self);
-    }
-    // Replicas may store columns in different orders; copy by name (§3.1).
-    HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
-                            obj->schema.MappingFrom(decoded.schema));
-    for (const Tuple& t : decoded.tuples) {
-      HARBOR_RETURN_NOT_OK(
-          store->InsertCommittedTuple(obj, t.RemapColumns(mapping)).status());
-      (*copied)++;
-    }
-    if (durable_watermarks && decoded.truncated && !decoded.tuples.empty() &&
-        options_.watermark_interval_chunks > 0 &&
-        ++chunks_since_mark >= options_.watermark_interval_chunks) {
-      chunks_since_mark = 0;
-      // Durability order: the copied pages must be on disk before the
-      // watermark that claims them — the chunk-granularity version of
-      // §5.3's checkpoint rule.
-      HARBOR_RETURN_NOT_OK(worker_->pool()->FlushAll());
-      HARBOR_RETURN_NOT_OK(obj->file->SyncHeaderIfDirty());
-      const StreamResume mark{hwm, decoded.last_insertion_ts,
-                              decoded.last_tuple_id};
-      HARBOR_RETURN_NOT_OK(worker_->WriteObjectResume(obj->object_id, mark));
-      plan->resume = mark;
-    }
-    return Status::OK();
+  Status apply_status;
+  Status st = StreamScan(piece, std::move(scan), [&](ScanReplyMsg& decoded) {
+    apply_status = [&]() -> Status {
+      // Replicas may store columns in different orders; copy by name (§3.1).
+      HARBOR_ASSIGN_OR_RETURN(std::vector<size_t> mapping,
+                              obj->schema.MappingFrom(decoded.schema));
+      if (durable_watermarks) {
+        HARBOR_FAULT_POINT("recovery.phase2.chunk", self);
+      }
+      // Concurrent same-object streams apply without mutual exclusion: the
+      // batch insert skips pages a competitor fills first, and the index,
+      // segment headers, and checkpoint file all lock internally.
+      // Serializing here would put the whole round on one core and cap the
+      // multi-buddy speedup at the single-stream apply rate.
+      std::vector<Tuple> remapped;
+      remapped.reserve(decoded.tuples.size());
+      for (const Tuple& t : decoded.tuples) {
+        remapped.push_back(t.RemapColumns(mapping));
+      }
+      HARBOR_RETURN_NOT_OK(store->InsertCommittedTuples(obj, remapped,
+                                                        copied));
+      if (durable_watermarks && decoded.truncated && !decoded.tuples.empty() &&
+          options_.watermark_interval_chunks > 0 &&
+          ++chunks_since_mark >= options_.watermark_interval_chunks) {
+        chunks_since_mark = 0;
+        // Durability order: the copied pages must be on disk before the
+        // watermark that claims them — the chunk-granularity version of
+        // §5.3's checkpoint rule. The watermark names its stream and window
+        // so a later attempt reconstructs the round's full layout.
+        HARBOR_RETURN_NOT_OK(worker_->pool()->FlushAll());
+        HARBOR_RETURN_NOT_OK(obj->file->SyncHeaderIfDirty());
+        const StreamResume mark{hwm,
+                                decoded.last_insertion_ts,
+                                decoded.last_tuple_id,
+                                window.stream_index,
+                                window.lo,
+                                window.hi};
+        HARBOR_RETURN_NOT_OK(
+            worker_->WriteObjectResume(obj->object_id, mark));
+      }
+      if (cursor != nullptr && decoded.truncated) {
+        *cursor = std::make_pair(decoded.last_insertion_ts,
+                                 decoded.last_tuple_id);
+      }
+      if (cap != nullptr && decoded.cap_insertion_ts > 0) {
+        *cap = decoded.cap_insertion_ts;
+      }
+      return Status::OK();
+    }();
+    return apply_status;
   });
+  if (retriable != nullptr) {
+    // Same rule as the deletion pass: kUnavailable (wire, or the fault
+    // point at the head of the apply callback — the cursor has not moved
+    // for the failed chunk) fails over; other apply errors are fatal.
+    *retriable = !st.ok() && st.IsUnavailable() &&
+                 (apply_status.ok() || apply_status.IsUnavailable());
+  }
+  return st;
 }
 
 Status RecoveryManager::DiscardResume(ObjectPlan* plan) {
-  // The watermark names a position in ONE buddy's key stream; with a
-  // multi-piece cover the pieces' key ranges interleave and the cursor is
-  // meaningless. Wipe the partially-copied range and restart the round
-  // from the object checkpoint.
+  // The watermarks name positions in full-replica streams; a partitioned
+  // cover interleaves the pieces' key ranges and the cursors are
+  // meaningless. Wipe everything past the object checkpoint (including the
+  // prefixes Phase 1 kept on the watermarks' promise) and restart the round
+  // cleanly from the object checkpoint.
   VersionStore* store = worker_->store();
   TableObject* obj = plan->obj;
   ScanSpec spec;
@@ -328,41 +395,212 @@ Status RecoveryManager::DiscardResume(ObjectPlan* plan) {
   spec.mode = ScanMode::kSeeDeleted;
   spec.has_insertion_after = true;
   spec.insertion_after = plan->checkpoint;
-  spec.has_insertion_at_or_before = true;
-  spec.insertion_at_or_before = plan->resume->insertion_ts;
   SeqScanOperator scan(store, obj, std::move(spec));
   HARBOR_ASSIGN_OR_RETURN(std::vector<Tuple> victims, CollectAll(&scan));
   for (const Tuple& t : victims) {
     HARBOR_RETURN_NOT_OK(store->PhysicalDelete(obj, t.record_id()));
   }
-  plan->resume.reset();
-  // Re-recording the unchanged checkpoint durably drops the resume entry.
+  plan->resume.clear();
+  // Re-recording the unchanged checkpoint durably drops the resume entries.
   return worker_->WriteObjectCheckpoint(obj->object_id, plan->checkpoint);
+}
+
+std::vector<RecoveryManager::StreamWindow> RecoveryManager::PlanWindows(
+    const ObjectPlan& plan, Timestamp hwm, size_t max_streams) const {
+  const Timestamp from = plan.checkpoint;
+  std::vector<StreamWindow> windows;
+  if (!plan.resume.empty()) {
+    // Rebuild the interrupted round's layout from the stored watermarks,
+    // then cover any uncovered gaps of (from, hwm] with fresh windows.
+    // Stored watermarks keep their stream indexes (their durable entries
+    // are overwritten in place as the streams advance); gap windows take
+    // fresh indexes past every stored one so they can never clobber a
+    // stale entry.
+    uint32_t next_index = 0;
+    for (const StreamResume& r : plan.resume) {
+      StreamWindow w;
+      w.stream_index = r.stream_index;
+      w.lo = std::max(from, r.window_lo);
+      w.hi = (r.window_hi == 0 || r.window_hi > hwm) ? hwm : r.window_hi;
+      if (w.hi <= w.lo) continue;  // stale entry below the checkpoint
+      w.resume = r;
+      windows.push_back(std::move(w));
+      next_index = std::max(next_index, r.stream_index + 1);
+    }
+    std::vector<StreamWindow> sorted = windows;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StreamWindow& a, const StreamWindow& b) {
+                return a.lo < b.lo;
+              });
+    Timestamp pos = from;
+    for (const StreamWindow& w : sorted) {
+      if (w.lo > pos) {
+        StreamWindow gap;
+        gap.stream_index = next_index++;
+        gap.lo = pos;
+        gap.hi = w.lo;
+        windows.push_back(std::move(gap));
+      }
+      pos = std::max(pos, w.hi);
+    }
+    if (pos < hwm) {
+      StreamWindow gap;
+      gap.stream_index = next_index++;
+      gap.lo = pos;
+      gap.hi = hwm;
+      windows.push_back(std::move(gap));
+    }
+    return windows;
+  }
+  // Fresh round: split (from, hwm] into n roughly-equal insertion-time
+  // windows, never more than the range has distinct timestamps.
+  const Timestamp span = hwm - from;
+  size_t n = max_streams;
+  if (static_cast<Timestamp>(n) > span) n = static_cast<size_t>(span);
+  if (n == 0) n = 1;
+  windows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StreamWindow w;
+    w.stream_index = static_cast<uint32_t>(i);
+    w.lo = from + span * i / n;
+    w.hi = from + span * (i + 1) / n;
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+Status RecoveryManager::RunStream(ObjectPlan* plan,
+                                  const std::vector<RecoveryObject>& pool,
+                                  const StreamWindow& window, Timestamp hwm,
+                                  std::mutex* stats_mu) {
+  const SiteId self = worker_->site_id();
+  obs::Count(self, obs::CounterId::kRecoveryStreamsStarted);
+  Stopwatch stream_watch;
+  StreamCursor cursor;
+  if (window.resume.has_value()) {
+    cursor = std::make_pair(window.resume->insertion_ts,
+                            window.resume->tuple_id);
+  }
+  Timestamp cap = 0;
+  // Stream 0 owns the deletion pass for the base (ins <= checkpoint); a
+  // resumed window additionally owns the pass over its already-kept prefix.
+  // Fresh windows past stream 0 need none: their insertions arrive with
+  // deletion state included.
+  bool need_deletions = window.stream_index == 0 || window.resume.has_value();
+  size_t del_copied = 0;
+  size_t ins_copied = 0;
+  double del_seconds = 0;
+  double ins_seconds = 0;
+  bool attempted = false;
+  Status last = AnnotateUnavailable(
+      *plan, Status::Unavailable("no usable replica left to stream from"));
+  for (size_t b = 0; b < pool.size(); ++b) {
+    const RecoveryObject& piece = pool[(window.stream_index + b) % pool.size()];
+    // Re-checked per candidate: a buddy that died — or started recovering
+    // itself — after the pool was computed must not serve (§5.5.2).
+    if (!BuddyUsable(piece.site)) continue;
+    if (attempted) {
+      obs::Count(self, obs::CounterId::kRecoveryStreamFailovers);
+      obs::Trace(self, "recovery.stream.failover", 0,
+                 static_cast<int64_t>(plan->obj->object_id),
+                 static_cast<int64_t>(piece.site));
+    }
+    attempted = true;
+    Status st;
+    bool retriable = false;
+    if (need_deletions) {
+      Stopwatch del_watch;
+      const Timestamp ins_after = window.stream_index == 0 ? 0 : window.lo;
+      const Timestamp ins_hi = cursor.has_value() ? cursor->first : window.lo;
+      st = ApplyRemoteDeletions(plan, piece, ins_after, ins_hi,
+                                plan->checkpoint, hwm, /*historical=*/true,
+                                &del_copied, &retriable);
+      del_seconds += del_watch.ElapsedSeconds();
+      if (st.ok()) need_deletions = false;
+    }
+    if (st.ok()) {
+      Stopwatch ins_watch;
+      st = CopyRemoteInsertions(plan, piece, window, hwm, /*historical=*/true,
+                                /*durable_watermarks=*/true, &cursor, &cap,
+                                &ins_copied, &retriable);
+      ins_seconds += ins_watch.ElapsedSeconds();
+    }
+    last = st;
+    if (st.ok()) break;
+    // Only a buddy lost from the wire fails over — at the in-memory cursor,
+    // on the next usable replica. Local apply errors abort the attempt.
+    if (!retriable) break;
+  }
+  {
+    std::unique_lock<std::mutex> lock;
+    if (stats_mu != nullptr) lock = std::unique_lock<std::mutex>(*stats_mu);
+    plan->stats.phase2_deletions_copied += del_copied;
+    plan->stats.phase2_tuples_copied += ins_copied;
+    plan->stats.phase2_delete_seconds += del_seconds;
+    plan->stats.phase2_insert_seconds += ins_seconds;
+  }
+  if (last.ok() && obs::Enabled()) {
+    obs::Observe(self, obs::HistogramId::kRecoveryStreamNs,
+                 stream_watch.ElapsedNanos());
+  }
+  return last;
 }
 
 Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
   const Timestamp from = plan->checkpoint;
-  const bool resuming = plan->resume.has_value();
-  // On a resumed round the deletion pass widens its insertion bound to the
-  // watermark: Phase 1 undid deletion times > checkpoint on the already-
-  // copied tuples, and the resumed insertion stream will not re-ship them.
-  const Timestamp del_ins_bound =
-      resuming ? std::max(from, plan->resume->insertion_ts) : from;
-  // A durable watermark is only meaningful for a single-piece cover (one
-  // stream, one cursor); multi-piece resumes were discarded by the caller.
-  const bool durable_watermarks = plan->cover.size() == 1;
-  for (const RecoveryObject& piece : plan->cover) {
-    Stopwatch del_watch;
-    HARBOR_RETURN_NOT_OK(ApplyRemoteDeletions(
-        plan, piece, del_ins_bound, from, hwm, /*historical=*/true,
-        &plan->stats.phase2_deletions_copied));
-    plan->stats.phase2_delete_seconds += del_watch.ElapsedSeconds();
+  if (plan->cover.size() > 1) {
+    // Partitioned cover: one serial stream per piece. Cursors and durable
+    // watermarks are meaningless across interleaved key ranges (the caller
+    // discarded any), and the pieces' replicas are not interchangeable, so
+    // neither window-splitting nor failover applies.
+    for (const RecoveryObject& piece : plan->cover) {
+      Stopwatch del_watch;
+      HARBOR_RETURN_NOT_OK(ApplyRemoteDeletions(
+          plan, piece, /*ins_after=*/0, from, from, hwm, /*historical=*/true,
+          &plan->stats.phase2_deletions_copied, /*retriable=*/nullptr));
+      plan->stats.phase2_delete_seconds += del_watch.ElapsedSeconds();
 
-    Stopwatch ins_watch;
-    HARBOR_RETURN_NOT_OK(CopyRemoteInsertions(
-        plan, piece, from, hwm, /*historical=*/true, durable_watermarks,
-        &plan->stats.phase2_tuples_copied));
-    plan->stats.phase2_insert_seconds += ins_watch.ElapsedSeconds();
+      Stopwatch ins_watch;
+      StreamWindow window;
+      window.lo = from;  // hi stays 0: unbounded, the buddy pins the cap
+      HARBOR_RETURN_NOT_OK(CopyRemoteInsertions(
+          plan, piece, window, hwm, /*historical=*/true,
+          /*durable_watermarks=*/false, /*cursor=*/nullptr, /*cap=*/nullptr,
+          &plan->stats.phase2_tuples_copied, /*retriable=*/nullptr));
+      plan->stats.phase2_insert_seconds += ins_watch.ElapsedSeconds();
+    }
+    return Status::OK();
+  }
+
+  // Full-replica cover: split (from, hwm] into disjoint insertion-time
+  // windows and stream each from a different buddy concurrently, each with
+  // its own durable watermark. The pool is every usable full replica, in
+  // PlanCover's rotation order so concurrent recoveries spread load.
+  auto pool_r = worker_->global_catalog()->ReplicasCovering(
+      plan->obj->table_id, plan->obj->partition, worker_->site_id(),
+      [this](SiteId s) { return BuddyUsable(s); });
+  if (!pool_r.ok()) return AnnotateUnavailable(*plan, pool_r.status());
+  const std::vector<RecoveryObject>& pool = *pool_r;
+  const size_t max_streams = std::min<size_t>(
+      static_cast<size_t>(std::max(options_.max_parallel_streams, 1)),
+      pool.size());
+  const std::vector<StreamWindow> windows = PlanWindows(*plan, hwm,
+                                                        max_streams);
+  if (windows.size() == 1) {
+    return RunStream(plan, pool, windows[0], hwm, /*stats_mu=*/nullptr);
+  }
+  std::mutex stats_mu;
+  std::vector<Status> results(windows.size(), Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = RunStream(plan, pool, windows[i], hwm, &stats_mu);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& s : results) {
+    HARBOR_RETURN_NOT_OK(s);
   }
   return Status::OK();
 }
@@ -375,10 +613,11 @@ Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
     HARBOR_FAULT_POINT("recovery.phase2.round", worker_->site_id());
     // A resumed round must replay against the interrupted round's snapshot:
     // a fresh (later) HWM would skip deletions of already-watermarked
-    // tuples that committed between the two snapshots.
-    const bool resuming = plan->resume.has_value();
+    // tuples that committed between the two snapshots. Every stream of a
+    // round shares the round HWM, so any entry names it.
+    const bool resuming = !plan->resume.empty();
     const Timestamp hwm =
-        resuming ? plan->resume->round_hwm : authority->StableTime();
+        resuming ? plan->resume.front().round_hwm : authority->StableTime();
     obs::Trace(worker_->site_id(), "recovery.phase2.round", 0, round + 1,
                static_cast<int64_t>(hwm));
     if (hwm <= plan->checkpoint && !resuming) {
@@ -396,8 +635,8 @@ Status RecoveryManager::RunPhase2(ObjectPlan* plan) {
     HARBOR_RETURN_NOT_OK(RunPhase2Round(plan, hwm));
     plan->stats.phase2_rounds = ++rounds_run;
     plan->hwm = hwm;
-    plan->resume.reset();  // the round completed; the checkpoint write
-                           // below also clears the durable resume entry
+    plan->resume.clear();  // the round completed; the checkpoint write
+                           // below also clears the durable resume entries
     // rec is now consistent up to the HWM: flush and record an
     // object-granularity checkpoint so a crash during recovery resumes
     // from here (§5.3).
@@ -520,25 +759,48 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
 
   // With the locks held no pending update transaction touching these
   // objects can commit; copy the final delta with ordinary (non-historical)
-  // SEE DELETED queries (§5.4.1).
-  // The final delta streams in bounded chunks like Phase 2, but with no
-  // durable watermark: a failure here restarts the attempt, and Phase 1
-  // removes any partial Phase-3 copies (they sit past the object
-  // checkpoint).
+  // SEE DELETED queries (§5.4.1). The deltas stream in bounded chunks like
+  // Phase 2 — in parallel across objects, since the locks are already held
+  // on every piece — but with no durable watermark and no failover: the
+  // locks bind this attempt to these specific replicas, so a failure here
+  // restarts the attempt, and Phase 1 removes any partial Phase-3 copies
+  // (they sit past the object checkpoint).
+  auto copy_final_delta = [this](ObjectPlan* plan) -> Status {
+    for (const RecoveryObject& piece : plan->cover) {
+      HARBOR_RETURN_NOT_OK(ApplyRemoteDeletions(
+          plan, piece, /*ins_after=*/0, plan->hwm, plan->hwm, /*hwm=*/0,
+          /*historical=*/false, &plan->stats.phase3_deletions_copied,
+          /*retriable=*/nullptr));
+      StreamWindow window;
+      window.lo = plan->hwm;  // hi stays 0: unbounded, the buddy pins a cap
+      HARBOR_RETURN_NOT_OK(CopyRemoteInsertions(
+          plan, piece, window, /*hwm=*/0, /*historical=*/false,
+          /*durable_watermarks=*/false, /*cursor=*/nullptr, /*cap=*/nullptr,
+          &plan->stats.phase3_tuples_copied, /*retriable=*/nullptr));
+    }
+    return Status::OK();
+  };
   Status st = Status::OK();
-  for (ObjectPlan& plan : *plans) {
-    for (const RecoveryObject& piece : plan.cover) {
-      st = ApplyRemoteDeletions(&plan, piece, plan.hwm, plan.hwm, 0,
-                                /*historical=*/false,
-                                &plan.stats.phase3_deletions_copied);
-      if (!st.ok()) break;
-      st = CopyRemoteInsertions(&plan, piece, plan.hwm, 0,
-                                /*historical=*/false,
-                                /*durable_watermarks=*/false,
-                                &plan.stats.phase3_tuples_copied);
+  if (options_.parallel && plans->size() > 1) {
+    std::vector<Status> results(plans->size(), Status::OK());
+    std::vector<std::thread> threads;
+    threads.reserve(plans->size());
+    for (size_t i = 0; i < plans->size(); ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = copy_final_delta(&(*plans)[i]); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& s : results) {
+      if (!s.ok()) {
+        st = s;
+        break;
+      }
+    }
+  } else {
+    for (ObjectPlan& plan : *plans) {
+      st = copy_final_delta(&plan);
       if (!st.ok()) break;
     }
-    if (!st.ok()) break;
   }
 
   Timestamp checkpoint_time = worker_->authority()->Now() - 1;
@@ -635,7 +897,8 @@ Result<RecoveryStats> RecoveryManager::Recover() {
       plan.obj = obj;
       plan.checkpoint = ckpt.TimeFor(obj->object_id);
       plan.hwm = plan.checkpoint;
-      if (const StreamResume* r = ckpt.ResumeFor(obj->object_id)) {
+      if (const std::vector<StreamResume>* r =
+              ckpt.ResumeFor(obj->object_id)) {
         plan.resume = *r;  // previous attempt died mid-stream (§5.5.2)
       }
       plan.stats.object_id = obj->object_id;
@@ -669,8 +932,9 @@ Result<RecoveryStats> RecoveryManager::Recover() {
       if (!s.ok()) last = s;
     }
     if (!last.ok()) {
-      // Recovery buddy failed mid-phase: restart with a fresh plan (§5.5.2)
-      // from the per-object checkpoints already recorded.
+      // Recovery buddy failed mid-phase past what in-stream failover could
+      // absorb: restart with a fresh plan (§5.5.2) from the per-object
+      // checkpoints and stream watermarks already recorded.
       continue;
     }
 

@@ -2,8 +2,10 @@
 #define HARBOR_CORE_RECOVERY_MANAGER_H_
 
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -15,6 +17,12 @@ struct RecoveryOptions {
   /// Recover multiple objects in parallel, one thread per object (§5.1,
   /// evaluated in §6.4).
   bool parallel = true;
+  /// Phase-2 catch-up streams per object: the (checkpoint, HWM] insertion
+  /// window splits into up to this many disjoint sub-windows, each streamed
+  /// from a *different* recovery buddy concurrently. Only full-replica
+  /// covers split; partitioned covers keep one serial stream per piece.
+  /// 1 = the classic single-stream behavior.
+  int max_parallel_streams = 1;
   /// Re-run Phase 2 while the stable time has moved more than this past the
   /// object's HWM, up to the round cap (§5.3: "Phase 2 can be repeated
   /// additional times before proceeding to Phase 3").
@@ -75,14 +83,18 @@ struct RecoveryStats {
 ///    it — two local queries driven by the segment directory (§5.2).
 ///  - Phase 2 catches up to a high water mark with *lock-free historical
 ///    queries* against recovery buddies chosen from the catalog; the system
-///    is never quiesced (§5.3).
+///    is never quiesced (§5.3). With max_parallel_streams > 1 the catch-up
+///    range splits into disjoint insertion-time windows streamed from
+///    different buddies concurrently; each stream carries its own durable
+///    resume watermark, and a buddy dying mid-stream fails the stream over
+///    to another replica at the cursor instead of restarting the round.
 ///  - Phase 3 takes table-granularity read locks on every recovery object
 ///    at once, copies the final delta with ordinary queries, then joins
 ///    pending transactions through the coordinator and comes online (§5.4).
 ///
-/// Buddy failures restart the affected recovery with a fresh plan (§5.5.2);
-/// failures of the recovering site itself simply leave its per-object
-/// checkpoints behind for the next attempt (§5.5.1).
+/// Unsurvivable buddy failures restart the affected recovery with a fresh
+/// plan (§5.5.2); failures of the recovering site itself simply leave its
+/// per-object checkpoints behind for the next attempt (§5.5.1).
 class RecoveryManager {
  public:
   RecoveryManager(Worker* worker, RecoveryOptions options);
@@ -96,12 +108,28 @@ class RecoveryManager {
     Timestamp checkpoint = 0;
     Timestamp hwm = 0;
     std::vector<RecoveryObject> cover;
-    /// Durable mid-stream watermark loaded from the checkpoint record: the
-    /// previous attempt died inside a Phase-2 catch-up stream and every
-    /// version key <= (insertion_ts, tuple_id) is already on disk.
-    std::optional<StreamResume> resume;
+    /// Durable mid-stream watermarks loaded from the checkpoint record: the
+    /// previous attempt died inside Phase-2 catch-up streams, and within
+    /// each stream's insertion-time window every version key
+    /// <= (insertion_ts, tuple_id) is already on disk.
+    std::vector<StreamResume> resume;
     ObjectRecoveryStats stats;
   };
+
+  /// One phase-2 catch-up stream's slice of the round: the half-open
+  /// insertion-time window (lo, hi] of the (checkpoint, HWM] range, plus
+  /// the durable watermark to resume from, if any. hi == 0 means
+  /// "unbounded above" (the serving buddy pins a cap instead).
+  struct StreamWindow {
+    uint32_t stream_index = 0;
+    Timestamp lo = 0;  // exclusive
+    Timestamp hi = 0;  // inclusive; 0 = unbounded (cap pinned by the buddy)
+    std::optional<StreamResume> resume;
+  };
+
+  /// In-memory continuation cursor of a live stream: the last applied
+  /// (insertion_ts, tuple_id). Failover re-issues the scan strictly past it.
+  using StreamCursor = std::optional<std::pair<Timestamp, TupleId>>;
 
   Status RunPhase1(ObjectPlan* plan);
   Status RunPhase2(ObjectPlan* plan);
@@ -109,24 +137,57 @@ class RecoveryManager {
   Status RunPhase3(std::vector<ObjectPlan>* plans, double* out_seconds);
 
   Status ComputeCover(ObjectPlan* plan);
-  /// Abandons an unresumable watermark: wipes the partially-copied range
-  /// (checkpoint, resume.insertion_ts] and durably clears the resume entry
-  /// so the round restarts cleanly from the object checkpoint.
+  /// Splits the round's (checkpoint, hwm] range into up to max_streams
+  /// disjoint windows — or, when durable watermarks exist, reconstructs the
+  /// interrupted round's windows from them and covers any gaps with fresh
+  /// windows under fresh stream indexes.
+  std::vector<StreamWindow> PlanWindows(const ObjectPlan& plan, Timestamp hwm,
+                                        size_t max_streams) const;
+  /// Runs one phase-2 window to completion against the replica pool:
+  /// deletion pass (when the window owns one) then the insertion stream.
+  /// A buddy dying mid-stream (kUnavailable from the wire, never a local
+  /// apply failure) fails over to the next usable replica at the in-memory
+  /// cursor. Local applies of concurrent same-object streams run without
+  /// mutual exclusion — page latches and the internally-locked index /
+  /// segment-header / checkpoint structures carry the safety — so stats_mu
+  /// only guards the final merge into plan->stats (nullptr when the window
+  /// runs alone).
+  Status RunStream(ObjectPlan* plan, const std::vector<RecoveryObject>& pool,
+                   const StreamWindow& window, Timestamp hwm,
+                   std::mutex* stats_mu);
+  /// Abandons unresumable watermarks: wipes everything past the object
+  /// checkpoint and durably clears the resume entries so the round restarts
+  /// cleanly from the object checkpoint.
   Status DiscardResume(ObjectPlan* plan);
   /// Runs one remote scan as a pipelined chunk stream: chunk N+1 is fetched
   /// with CallAsync while `apply` consumes chunk N. With
   /// stream_chunk_tuples == 0 this degenerates to one blocking Call.
   Status StreamScan(const RecoveryObject& piece, ScanMsg msg,
                     const std::function<Status(ScanReplyMsg&)>& apply);
+  /// Ships deletion times for tuples with ins_after < insertion_ts <=
+  /// ins_at_or_before (ins_after == 0 leaves the lower bound unset) and
+  /// deletion_ts > del_after. retriable (may be nullptr) reports whether a
+  /// failure came from the wire (safe to fail over) rather than the local
+  /// apply.
   Status ApplyRemoteDeletions(ObjectPlan* plan, const RecoveryObject& piece,
-                              Timestamp ins_at_or_before, Timestamp del_after,
-                              Timestamp hwm, bool historical, size_t* copied);
+                              Timestamp ins_after, Timestamp ins_at_or_before,
+                              Timestamp del_after, Timestamp hwm,
+                              bool historical, size_t* copied,
+                              bool* retriable);
+  /// Streams the window's insertions from `piece`, resuming strictly past
+  /// *cursor when set and updating it after every applied chunk; *cap
+  /// carries the buddy-pinned insertion cap across failover. cursor/cap may
+  /// be nullptr (phase 3: no failover).
   Status CopyRemoteInsertions(ObjectPlan* plan, const RecoveryObject& piece,
-                              Timestamp from_exclusive, Timestamp hwm,
+                              const StreamWindow& window, Timestamp hwm,
                               bool historical, bool durable_watermarks,
-                              size_t* copied);
+                              StreamCursor* cursor, Timestamp* cap,
+                              size_t* copied, bool* retriable);
 
   bool BuddyUsable(SiteId site) const;
+  /// Prefixes an Unavailable planning failure with the object identity so
+  /// exhausted-replica errors surfaced to the caller name what is stuck.
+  Status AnnotateUnavailable(const ObjectPlan& plan, Status st) const;
 
   Worker* const worker_;
   const RecoveryOptions options_;

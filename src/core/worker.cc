@@ -211,7 +211,18 @@ Status Worker::WriteObjectResume(ObjectId object, const StreamResume& resume) {
   std::lock_guard<std::mutex> file_lock(checkpoint_file_mu_);
   HARBOR_ASSIGN_OR_RETURN(CheckpointRecord rec,
                           ReadCheckpointRecord(options_.dir));
-  rec.resume[object] = resume;
+  // Upsert by stream index: parallel catch-up streams advance their
+  // watermarks independently within one object's entry.
+  std::vector<StreamResume>& streams = rec.resume[object];
+  auto it = std::find_if(streams.begin(), streams.end(),
+                         [&](const StreamResume& r) {
+                           return r.stream_index == resume.stream_index;
+                         });
+  if (it == streams.end()) {
+    streams.push_back(resume);
+  } else {
+    *it = resume;
+  }
   HARBOR_RETURN_NOT_OK(WriteCheckpointRecord(options_.dir, rec));
   rt->data_disk.ChargeForcedWrite(64);
   return Status::OK();
@@ -612,6 +623,12 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
                      : 0);
   } else if (m.with_page_locks) {
     obs::Count(options_.site_id, obs::CounterId::kReadLockScans);
+  }
+  if (m.max_tuples > 0 && !m.snapshot_read) {
+    // Chunked non-snapshot scans are recovery catch-up streams: attribute
+    // the served chunk to this buddy so parallel recovery's fan-out across
+    // sites is observable per buddy.
+    obs::Count(options_.site_id, obs::CounterId::kRecoveryChunksServed);
   }
   reply.minimal = m.minimal_projection;
   if (m.minimal_projection) {

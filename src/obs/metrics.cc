@@ -100,6 +100,12 @@ const char* CounterName(CounterId id) {
     case CounterId::kRecoveryChunks: return "recovery.chunks";
     case CounterId::kRecoveryStreamResumes:
       return "recovery.stream_resumes";
+    case CounterId::kRecoveryStreamsStarted:
+      return "recovery.streams_started";
+    case CounterId::kRecoveryStreamFailovers:
+      return "recovery.stream_failovers";
+    case CounterId::kRecoveryChunksServed:
+      return "recovery.chunks_served";
     case CounterId::kFaultsFired: return "fault.fired";
     case CounterId::kBufHits: return "buf.hits";
     case CounterId::kBufMisses: return "buf.misses";
@@ -140,6 +146,8 @@ const char* HistogramName(HistogramId id) {
       return "recovery.chunk_apply_ns";
     case HistogramId::kRecoveryChunkStallNs:
       return "recovery.chunk_stall_ns";
+    case HistogramId::kRecoveryStreamNs:
+      return "recovery.stream_ns";
     case HistogramId::kBufMissReadNs: return "buf.miss_read_ns";
     case HistogramId::kBufShardLockWaitNs: return "buf.shard_lock_wait_ns";
     case HistogramId::kReadSnapshotLagEpochs:

@@ -91,7 +91,12 @@ enum class CounterId : uint8_t {
   kRecoveryPhase3Tuples,
   kRecoveryPhase3Deletions,
   kRecoveryChunks,         // catch-up chunks fetched by this recovering site
-  kRecoveryStreamResumes,  // streams resumed from a durable watermark
+  kRecoveryStreamResumes,  // streams resumed from a cursor (durable
+                           // watermark or in-memory failover)
+  kRecoveryStreamsStarted,  // phase-2 catch-up streams launched
+  kRecoveryStreamFailovers,  // streams failed over to another buddy
+  kRecoveryChunksServed,   // catch-up chunks this site served to a
+                           // recovering buddy
   kFaultsFired,            // fault points + link faults fired at this site
   kBufHits,                // buffer pool page-table hits
   kBufMisses,              // misses (each cost a disk read)
@@ -123,6 +128,7 @@ enum class HistogramId : uint8_t {
   kRecoveryChunkBytes,     // on-wire size of each catch-up chunk reply
   kRecoveryChunkApplyNs,   // local apply time per chunk
   kRecoveryChunkStallNs,   // fetch wait not hidden behind the previous apply
+  kRecoveryStreamNs,       // wall time of one phase-2 catch-up stream
   kBufMissReadNs,          // wall latency of each miss's disk read
   kBufShardLockWaitNs,     // wall time spent acquiring a page-table shard
   kReadSnapshotLagEpochs,  // Now() - snapshot ts at serve time (staleness)

@@ -96,14 +96,15 @@ Result<uint32_t> FileManager::AllocatePage(uint32_t file_id) {
   HARBOR_ASSIGN_OR_RETURN(int fd, Fd(file_id));
   std::unique_lock<std::shared_mutex> lock(mu_);
   uint32_t page_no = sizes_[file_id];
-  std::vector<uint8_t> zeros(kPageSize, 0);
-  ssize_t n = ::pwrite(fd, zeros.data(), kPageSize,
-                       static_cast<off_t>(page_no) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  // Extending the file is a metadata operation (fallocate-style): the new
+  // page reads back as zeros without any data transfer having happened, and
+  // the transfer is charged when the page itself is eventually flushed.
+  // Writing a page of zeros here would double-charge every append — and
+  // appends are the recovery copy path's hot loop.
+  if (::ftruncate(fd, static_cast<off_t>(page_no + 1) * kPageSize) != 0) {
     return Status::IoError("failed to extend file " + std::to_string(file_id));
   }
   sizes_[file_id] = page_no + 1;
-  if (disk_ != nullptr) disk_->ChargeWrite(kPageSize);
   return page_no;
 }
 

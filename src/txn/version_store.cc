@@ -124,8 +124,7 @@ Result<PageHandle> VersionStore::AcquirePageForInsert(LockOwnerId owner,
       HARBOR_RETURN_NOT_OK(
           locks_->AcquirePageLock(owner, fresh, LockMode::kExclusive));
     }
-    HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
-                            pool_->GetPage(fresh, /*sequential=*/true));
+    HARBOR_ASSIGN_OR_RETURN(PageHandle handle, pool_->CreatePage(fresh));
     {
       PageLatchGuard latch(handle);
       HeapPage view(handle.data(), tuple_bytes);
@@ -308,14 +307,24 @@ Result<RecordId> VersionStore::InsertCommittedTuple(TableObject* obj,
   tuple.Pack(obj->schema, image.data());
 
   PageId pid;
-  HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
-                          AcquirePageForInsert(/*owner=*/0, obj, &pid));
-  uint16_t slot;
-  {
+  uint16_t slot = 0;
+  for (int attempt = 0;; ++attempt) {
+    HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                            AcquirePageForInsert(/*owner=*/0, obj, &pid));
     PageLatchGuard latch(handle);
     HeapPage view(handle.data(), obj->schema.tuple_bytes());
-    HARBOR_ASSIGN_OR_RETURN(slot, view.InsertTuple(image.data()));
-    handle.MarkDirty();
+    Result<uint16_t> inserted = view.InsertTuple(image.data());
+    if (inserted.ok()) {
+      slot = *inserted;
+      handle.MarkDirty();
+      break;
+    }
+    // AcquirePageForInsert drops its latch before returning, so a competitor
+    // (parallel recovery streams target one object concurrently) can fill the
+    // page in between; take another page rather than failing the insert.
+    if (!inserted.status().IsOutOfRange() || attempt >= 64) {
+      return inserted.status();
+    }
   }
   RecordId rid{pid, slot};
   HARBOR_ASSIGN_OR_RETURN(size_t seg, obj->file->SegmentOfPage(pid.page_no));
@@ -332,6 +341,68 @@ Result<RecordId> VersionStore::InsertCommittedTuple(TableObject* obj,
     obj->secondary->Insert(seg, SecondaryKeyOf(obj, tuple), rid);
   }
   return rid;
+}
+
+Status VersionStore::InsertCommittedTuples(TableObject* obj,
+                                           const std::vector<Tuple>& tuples,
+                                           size_t* applied) {
+  const uint32_t tuple_bytes = obj->schema.tuple_bytes();
+  std::vector<uint8_t> image(tuple_bytes);
+  std::vector<uint16_t> slots;
+  size_t i = 0;
+  int empty_acquires = 0;
+  while (i < tuples.size()) {
+    PageId pid;
+    HARBOR_ASSIGN_OR_RETURN(PageHandle handle,
+                            AcquirePageForInsert(/*owner=*/0, obj, &pid));
+    const size_t first = i;
+    slots.clear();
+    {
+      PageLatchGuard latch(handle);
+      HeapPage view(handle.data(), tuple_bytes);
+      while (i < tuples.size()) {
+        tuples[i].Pack(obj->schema, image.data());
+        Result<uint16_t> slot = view.InsertTuple(image.data());
+        if (!slot.ok()) {
+          // Full page: move on to the next one. Anything else is fatal.
+          if (slot.status().IsOutOfRange()) break;
+          return slot.status();
+        }
+        slots.push_back(*slot);
+        ++i;
+      }
+      if (!slots.empty()) handle.MarkDirty();
+    }
+    if (slots.empty()) {
+      // A competitor filled the page between the acquire check and our
+      // latch; AcquirePageForInsert appends fresh pages, so repeated losses
+      // can only mean a bookkeeping bug — bound them.
+      if (++empty_acquires > 64) {
+        return Status::Internal("could not claim an insertable page");
+      }
+      continue;
+    }
+    empty_acquires = 0;
+    HARBOR_ASSIGN_OR_RETURN(size_t seg, obj->file->SegmentOfPage(pid.page_no));
+    for (size_t k = 0; k < slots.size(); ++k) {
+      const Tuple& t = tuples[first + k];
+      RecordId rid{pid, slots[k]};
+      if (t.insertion_ts() != kUncommittedTimestamp) {
+        obj->file->NoteCommittedInsertion(seg, t.insertion_ts());
+      } else {
+        obj->file->NoteUncommittedInsertion(seg);
+      }
+      if (t.deletion_ts() != kNotDeleted) {
+        obj->file->NoteCommittedDeletion(seg, t.deletion_ts());
+      }
+      obj->index.Insert(t.tuple_id(), rid);
+      if (obj->secondary != nullptr) {
+        obj->secondary->Insert(seg, SecondaryKeyOf(obj, t), rid);
+      }
+      if (applied != nullptr) (*applied)++;
+    }
+  }
+  return Status::OK();
 }
 
 Status VersionStore::SetDeletionTs(TableObject* obj, RecordId rid,

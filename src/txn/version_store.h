@@ -71,6 +71,15 @@ class VersionStore {
   /// recovery buddy, §5.3, or bulk-loaded).
   Result<RecordId> InsertCommittedTuple(TableObject* obj, const Tuple& tuple);
 
+  /// Batch form for recovery chunk applies: acquires each heap page once and
+  /// fills it until full, amortizing the insertable-page search over whole
+  /// chunks. Safe under concurrent same-object batches — a page a competitor
+  /// fills first is simply skipped. `applied` (may be nullptr) is bumped per
+  /// inserted tuple.
+  Status InsertCommittedTuples(TableObject* obj,
+                               const std::vector<Tuple>& tuples,
+                               size_t* applied);
+
   /// In-place write of the deletion timestamp: recovery Phase 1's undelete
   /// (ts = 0, §5.2) and Phases 2-3's deletion copy (§5.3-5.4).
   Status SetDeletionTs(TableObject* obj, RecordId rid, Timestamp ts);

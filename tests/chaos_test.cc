@@ -520,6 +520,83 @@ TEST(ChaosRecoveryStreamTest, BuddyCrashMidChunkStreamResumesFromWatermark) {
       << "recovered replica diverges after the mid-stream buddy crash";
 }
 
+TEST(ChaosRecoveryStreamTest, ParallelBuddyCrashMidChunkFailsOverAtCursor) {
+  obs::Observer observer;
+  observer.Install();
+
+  ClusterOptions opt;
+  opt.num_workers = 4;
+  opt.protocol = CommitProtocol::kOptimized3PC;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 4;
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, {Value(int64_t{i}), Value(int64_t{i}),
+                                       Value("base")}));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  // Many insertion epochs so the catch-up round splits into real windows.
+  for (int batch = 0; batch < 15; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      int64_t id = 10 + batch * 10 + i;
+      ASSERT_OK(coord->InsertTxn(table, {Value(id), Value(id),
+                                         Value("delta")}));
+    }
+    cluster->AdvanceEpoch();
+  }
+  cluster->CrashWorker(3);
+
+  // Three buddies each serve one window-stream of the recovering site. The
+  // fourth applied chunk kills worker 1 mid-round: the stream it was
+  // serving must fail over to a surviving replica at its cursor — within
+  // the same attempt — while the other streams keep going.
+  ChaosSchedule sched;
+  PointFault p;
+  p.point = "recovery.phase2.chunk";
+  p.site = Cluster::WorkerSite(3);
+  p.hit = 4;
+  sched.points.push_back(p);
+  FaultInjector injector(sched);
+  Cluster* raw = cluster.get();
+  injector.RegisterCrashHandler(Cluster::WorkerSite(3),
+                                [raw] { raw->CrashWorker(1); });
+  injector.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+
+  RecoveryOptions ropt;
+  ropt.stream_chunk_tuples = 8;
+  ropt.watermark_interval_chunks = 1;
+  ropt.max_parallel_streams = 3;
+  ASSERT_OK(cluster->RecoverWorker(3, ropt).status());
+  injector.Uninstall();
+
+  const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(3));
+  EXPECT_GE(m.counter(obs::CounterId::kRecoveryStreamFailovers).value(), 1)
+      << "the dead buddy's stream did not fail over to another replica";
+  int attempts = 0;
+  for (const obs::TraceEvent& e : observer.MergedTrace()) {
+    if (std::string(e.kind) == "recovery.begin") ++attempts;
+  }
+  EXPECT_EQ(attempts, 1)
+      << "the buddy crash escalated to a whole-recovery retry instead of an "
+         "in-stream cursor failover";
+
+  // Zero lost and zero duplicated tuples; untouched streams unaffected.
+  cluster->AdvanceEpoch();
+  const Timestamp now = cluster->authority()->StableTime();
+  std::map<int64_t, int64_t> reference = ReplicaRows(cluster.get(), 0, now);
+  EXPECT_EQ(reference.size(), 160u);
+  EXPECT_EQ(ReplicaRows(cluster.get(), 3, now), reference)
+      << "recovered replica diverges after the mid-stream buddy crash";
+}
+
 // ------------------------------------------------------------- the suites
 
 class ChaosScheduleTest : public ::testing::TestWithParam<uint64_t> {};

@@ -75,6 +75,14 @@ void ExpectReplicasEqual(Cluster* cluster, Timestamp as_of) {
   }
 }
 
+int RecoveryAttempts(obs::Observer* o) {
+  int n = 0;
+  for (const obs::TraceEvent& e : o->MergedTrace()) {
+    if (std::string(e.kind) == "recovery.begin") ++n;
+  }
+  return n;
+}
+
 TEST(HarborRecoveryTest, RecoversInsertsAfterCheckpoint) {
   auto cluster = MakeCluster(CommitProtocol::kOptimized3PC);
   ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
@@ -348,6 +356,54 @@ TEST(HarborRecoveryTest, AllBuddiesDownMeansKSafetyExceeded) {
   EXPECT_TRUE(stats.status().IsUnavailable()) << stats.status().ToString();
 }
 
+// Satellite regression: a buddy that is itself mid-recovery holds an
+// incomplete replica and must never be chosen as a cover source. With the
+// only other copy on a kRecovering site, the cover is uncoverable — the
+// old "not down" check would instead have streamed garbage from it.
+TEST(HarborRecoveryTest, RecoveringBuddyIsNotAValidCoverSource) {
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC, 2);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  ASSERT_OK(cluster->coordinator()->InsertTxn(table, SmallRow(1, 1, "x")));
+  cluster->AdvanceEpoch();
+
+  cluster->CrashWorker(0);
+  cluster->CrashWorker(1);
+  // Worker 0 restarts but is still mid-recovery: endpoint up, state
+  // kRecovering, replica not yet caught up.
+  ASSERT_OK(cluster->worker(0)->Start(SiteState::kRecovering));
+  RecoveryOptions opt;
+  opt.max_attempts = 2;
+  auto stats = cluster->RecoverWorker(1, opt);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsUnavailable()) << stats.status().ToString();
+}
+
+// Satellite regression: when every replica of an object is unreachable the
+// recovery must give up after RecoveryOptions::max_attempts whole-recovery
+// attempts with kUnavailable naming the object — not retry forever.
+TEST(HarborRecoveryTest, ExhaustedRetriesNameTheUncoverableObject) {
+  obs::Observer observer;
+  observer.Install();
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC, 2);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  ASSERT_OK(cluster->coordinator()->InsertTxn(table, SmallRow(1, 1, "x")));
+  cluster->AdvanceEpoch();
+
+  cluster->CrashWorker(0);
+  cluster->CrashWorker(1);
+  RecoveryOptions opt;
+  opt.max_attempts = 3;
+  auto stats = cluster->RecoverWorker(1, opt);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsUnavailable()) << stats.status().ToString();
+  // The operator needs to know *which* object is uncoverable.
+  EXPECT_NE(stats.status().message().find("recovery of object"),
+            std::string::npos)
+      << stats.status().message();
+  EXPECT_LE(RecoveryAttempts(&observer), opt.max_attempts);
+  observer.Uninstall();
+}
+
 // --------------------------------------------------------------- ARIES
 
 class AriesRecoveryEndToEndTest
@@ -530,14 +586,6 @@ TEST(ConsensusTest, CrashedRecoveringSiteLocksAreReleased) {
 
 // Counts "recovery.begin" events in the merged trace — one per top-level
 // recovery attempt (§5.5.2 restarts bump it; same-attempt retries do not).
-int RecoveryAttempts(obs::Observer* o) {
-  int n = 0;
-  for (const obs::TraceEvent& e : o->MergedTrace()) {
-    if (std::string(e.kind) == "recovery.begin") ++n;
-  }
-  return n;
-}
-
 TEST(RecoveryStreamTest, ChunkedCatchUpBoundsReplySizes) {
   obs::Observer observer;
   observer.Install();
@@ -663,6 +711,62 @@ TEST(RecoveryStreamTest, ResumesFromDurableWatermarkAfterMidStreamFailure) {
                        coord->Query(table, Predicate::True()));
   EXPECT_EQ(rows.size(), 130u);
   (void)stats;
+  observer.Uninstall();
+}
+
+TEST(RecoveryStreamTest, ParallelStreamsSplitTheRoundAcrossBuddies) {
+  obs::Observer observer;
+  observer.Install();
+  test::TraceDumpOnFailure dump_on_failure;
+  auto cluster = MakeCluster(CommitProtocol::kOptimized3PC, 4);
+  ASSERT_OK_AND_ASSIGN(TableId table, MakeTable(cluster.get(), "t"));
+  Coordinator* coord = cluster->coordinator();
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(coord->InsertTxn(table, SmallRow(i, i, "base")));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+  // Spread the delta over many insertion epochs so the (checkpoint, HWM]
+  // range splits into non-trivial windows.
+  for (int batch = 0; batch < 15; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      int id = 10 + batch * 10 + i;
+      ASSERT_OK(coord->InsertTxn(table, SmallRow(id, id, "delta")));
+    }
+    cluster->AdvanceEpoch();
+  }
+
+  cluster->CrashWorker(3);
+  RecoveryOptions opt;
+  opt.stream_chunk_tuples = 8;
+  opt.max_parallel_streams = 3;
+  ASSERT_OK_AND_ASSIGN(RecoveryStats stats, cluster->RecoverWorker(3, opt));
+  EXPECT_EQ(stats.objects[0].phase2_tuples_copied +
+                stats.objects[0].phase3_tuples_copied,
+            150u);
+
+  // No lost or duplicated tuples across the window boundaries.
+  cluster->AdvanceEpoch();
+  ExpectReplicasEqual(cluster.get(), cluster->authority()->StableTime());
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> rows,
+                       coord->Query(table, Predicate::True()));
+  EXPECT_EQ(rows.size(), 160u);
+
+  // The round really ran as multiple streams against multiple buddies:
+  // the recovering site started >= 2 streams, and >= 2 distinct buddies
+  // served catch-up chunks.
+  const obs::Metrics& rec = observer.MetricsFor(Cluster::WorkerSite(3));
+  EXPECT_GE(rec.counter(obs::CounterId::kRecoveryStreamsStarted).value(), 2);
+  int serving_buddies = 0;
+  for (int i = 0; i < 3; ++i) {
+    const obs::Metrics& m = observer.MetricsFor(Cluster::WorkerSite(i));
+    if (m.counter(obs::CounterId::kRecoveryChunksServed).value() > 0) {
+      ++serving_buddies;
+    }
+  }
+  EXPECT_GE(serving_buddies, 2)
+      << "all phase-2 windows streamed from a single buddy";
   observer.Uninstall();
 }
 

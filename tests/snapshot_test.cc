@@ -214,6 +214,42 @@ TEST_F(SnapshotReadTest, RecoveringSiteRefusesSnapshotReadsAndQueryRoutes) {
 // sampled afterwards (StableTime is non-decreasing and always below every
 // in-flight commit) — under concurrent commits, aborts, epoch ticks, and a
 // worker crash/recovery cycle. Per-site marks must also be monotone.
+// Satellite regression: on a quiescent cluster no commit ever gossips a
+// snapshot mark, so the coordinator's learned low-water mark stays at its
+// never-learned value 0. With a generous snapshot_max_lag_epochs the lazy
+// fast path used to serve that 0 as the snapshot time ("Now() - 0 is within
+// lag"), and every snapshot query read at time zero — seeing none of the
+// bulk-loaded data. The fallback must fire whenever the mark has never been
+// learned, regardless of the configured lag.
+TEST(SnapshotLowWaterMarkTest, QuiescentClusterDoesNotServeTimeZeroSnapshot) {
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  opt.sim = SimConfig::Zero();
+  opt.snapshot_max_lag_epochs = 10;
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+
+  // Bulk load only — no transactions, no gossip, learned mark still 0.
+  std::vector<LoadRow> rows;
+  for (int i = 0; i < 8; ++i) {
+    LoadRow r;
+    r.tuple_id = static_cast<TupleId>(i + 1);
+    r.insertion_ts = 1;
+    r.values = {Value(int64_t{i}), Value(int64_t{i * 10}), Value("bulk")};
+    rows.push_back(r);
+  }
+  ASSERT_OK(cluster->BulkLoad(table, rows));
+  cluster->AdvanceEpoch(3);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> got,
+                       cluster->coordinator()->Query(table, Predicate()));
+  EXPECT_EQ(got.size(), 8u)
+      << "snapshot query on a quiescent cluster read at time zero";
+}
+
 TEST(SnapshotLowWaterMarkTest, MarkNeverPassesStableTimeUnderConcurrency) {
   ClusterOptions opt;
   opt.num_workers = 3;
