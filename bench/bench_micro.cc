@@ -366,17 +366,127 @@ BENCHMARK_F(ScanFixture, SeqScanPrunedToLastSegment)(benchmark::State& state) {
 }
 
 // ---------------------------------------------------------------------
+// Row vs columnar scan throughput on a selective predicate. Two objects
+// with identical data: one row-format, one with the PAX-style columnar
+// segment layout. The predicate selects ~1.5% of rows on a low-cardinality
+// CHAR column, so the columnar path compares 1-byte dictionary codes (and,
+// once hot, resolves through the per-segment adaptive eq index) while the
+// row path must unpack every slot. Source of BENCH_columnar_scan.json:
+//   bench_micro --benchmark_filter=ColumnarVsRowScan
+//               --benchmark_format=json
+
+constexpr size_t kColScanRows = 50000;
+
+Schema ColScanSchema() {
+  std::vector<Column> cols;
+  for (int i = 0; i < 12; ++i) {
+    cols.push_back(Column::Int32("f" + std::to_string(i)));
+  }
+  cols.push_back(Column::Char("tag", 16));
+  return Schema(std::move(cols));
+}
+
+struct ColScanEnv {
+  std::unique_ptr<FileManager> fm;
+  std::unique_ptr<LocalCatalog> catalog;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<LockManager> locks;
+  std::unique_ptr<TxnTable> txns;
+  std::unique_ptr<VersionStore> store;
+  TableObject* row_obj = nullptr;
+  TableObject* col_obj = nullptr;
+};
+
+ColScanEnv& ColEnv() {
+  static ColScanEnv* env = [] {
+    auto* e = new ColScanEnv();
+    e->fm = std::make_unique<FileManager>(BenchDir("colscan"), nullptr);
+    e->catalog = std::make_unique<LocalCatalog>(e->fm.get());
+    e->pool = std::make_unique<BufferPool>(e->fm.get(), 8192);
+    e->locks = std::make_unique<LockManager>();
+    e->txns = std::make_unique<TxnTable>();
+    e->store = std::make_unique<VersionStore>(e->catalog.get(), e->pool.get(),
+                                              e->locks.get(), nullptr,
+                                              e->txns.get());
+    Schema schema = ColScanSchema();
+    auto row = e->catalog->CreateObject(1, 1, "row", schema,
+                                        PartitionRange::Full(), 64);
+    HARBOR_CHECK_OK(row.status());
+    e->row_obj = *row;
+    auto col = e->catalog->CreateObject(2, 1, "col", schema,
+                                        PartitionRange::Full(), 64,
+                                        /*indexed_column=*/"",
+                                        /*columnar=*/true);
+    HARBOR_CHECK_OK(col.status());
+    e->col_obj = *col;
+    for (size_t i = 0; i < kColScanRows; ++i) {
+      std::vector<Value> values;
+      for (int c = 0; c < 12; ++c) {
+        values.push_back(Value(static_cast<int32_t>(i + c)));
+      }
+      values.push_back(Value(i % 64 == 0 ? "hot" : "cold"));
+      Tuple t(values);
+      t.set_tuple_id(static_cast<TupleId>(i));
+      t.set_insertion_ts(1);
+      HARBOR_CHECK_OK(e->store->InsertCommittedTuple(e->row_obj, t).status());
+      HARBOR_CHECK_OK(e->store->InsertCommittedTuple(e->col_obj, t).status());
+    }
+    return e;
+  }();
+  return *env;
+}
+
+void BM_ColumnarVsRowScan(benchmark::State& state) {
+  ColScanEnv& env = ColEnv();
+  TableObject* obj = state.range(0) == 0 ? env.row_obj : env.col_obj;
+  size_t matched = 0;
+  size_t columnar_segments = 0;
+  size_t adaptive = 0;
+  for (auto _ : state) {
+    ScanSpec spec;
+    spec.object_id = obj->object_id;
+    spec.mode = ScanMode::kVisible;
+    spec.as_of = 1;
+    spec.predicate.And("tag", CompareOp::kEq, Value("hot"));
+    SeqScanOperator scan(env.store.get(), obj, spec);
+    auto rows = CollectAll(&scan);
+    HARBOR_CHECK_OK(rows.status());
+    HARBOR_CHECK(rows->size() == (kColScanRows + 63) / 64);
+    matched = rows->size();
+    columnar_segments = scan.columnar_segments();
+    adaptive = scan.adaptive_index_probes();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kColScanRows));
+  state.counters["rows_matched"] = static_cast<double>(matched);
+  state.counters["columnar_segments"] = static_cast<double>(columnar_segments);
+  state.counters["adaptive_index_segments"] = static_cast<double>(adaptive);
+}
+BENCHMARK(BM_ColumnarVsRowScan)
+    ->ArgName("columnar")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------
 // Recovery catch-up transfer: crash one of two replicas, bulk-load a
 // post-checkpoint delta into the survivor, and measure bringing the
 // crashed site back online. range(0) is the delta row count, range(1) the
-// streaming chunk size in tuples (0 = monolithic single-reply scans).
-// peak_reply_bytes is the largest scan-reply payload the recovering site
-// saw -- the quantity chunking bounds. Source of BENCH_recovery_stream.json:
+// streaming chunk size in tuples (0 = monolithic single-reply scans),
+// range(2) whether the table uses the columnar segment layout (chunk
+// replies then ship FOR/dictionary-compressed column blocks instead of
+// serialized rows). peak_reply_bytes is the largest scan-reply payload the
+// recovering site saw -- the quantity chunking bounds, and which the
+// columnar wire encoding shrinks. Source of BENCH_recovery_stream.json:
 //   bench_micro --benchmark_filter=RecoveryStreamTransfer
 //               --benchmark_format=json
 void BM_RecoveryStreamTransfer(benchmark::State& state) {
   const size_t delta_rows = static_cast<size_t>(state.range(0));
   const size_t chunk = static_cast<size_t>(state.range(1));
+  const bool columnar = state.range(2) != 0;
   int64_t peak_reply = 0;
   int64_t chunks = 0;
   for (auto _ : state) {
@@ -387,7 +497,7 @@ void BM_RecoveryStreamTransfer(benchmark::State& state) {
     auto cluster_r = Cluster::Create(opt);
     HARBOR_CHECK_OK(cluster_r.status());
     std::unique_ptr<Cluster> cluster = std::move(cluster_r).value();
-    TableId table = bench::MakeEvalTable(cluster.get(), "t", 16);
+    TableId table = bench::MakeEvalTable(cluster.get(), "t", 16, columnar);
     bench::Preload(cluster.get(), table, 5000, 1000);
     cluster->AdvanceEpoch();
     HARBOR_CHECK_OK(cluster->CheckpointAll());
@@ -435,7 +545,7 @@ void BM_RecoveryStreamTransfer(benchmark::State& state) {
                           static_cast<int64_t>(delta_rows));
 }
 BENCHMARK(BM_RecoveryStreamTransfer)
-    ->ArgsProduct({{2000, 10000, 40000}, {0, 128, 512, 2048}})
+    ->ArgsProduct({{2000, 10000, 40000}, {0, 128, 512, 2048}, {0, 1}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

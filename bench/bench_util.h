@@ -47,13 +47,17 @@ inline std::unique_ptr<Cluster> MakePaperCluster(
   return std::move(cluster).value();
 }
 
-/// Creates one fully replicated evaluation table.
+/// Creates one fully replicated evaluation table. `columnar` selects the
+/// PAX-style sealed-segment layout on every replica (scan + recovery
+/// replies then ship dictionary/FOR-compressed column blocks).
 inline TableId MakeEvalTable(Cluster* cluster, const std::string& name,
-                             uint32_t segment_page_budget) {
+                             uint32_t segment_page_budget,
+                             bool columnar = false) {
   TableSpec spec;
   spec.name = name;
   spec.schema = EvalSchema();
   spec.default_segment_page_budget = segment_page_budget;
+  spec.columnar = columnar;
   auto table = cluster->CreateTable(spec);
   HARBOR_CHECK_OK(table.status());
   return *table;

@@ -113,6 +113,7 @@ Result<TableId> Cluster::CreateTable(const TableSpec& spec) {
     pspec.replication_factor = spec.replication_factor;
     pspec.segment_page_budget = spec.default_segment_page_budget;
     pspec.indexed_column = spec.indexed_column;
+    pspec.columnar = spec.columnar;
     std::vector<SiteId> sites;
     sites.reserve(static_cast<size_t>(num_workers()));
     for (int i = 0; i < num_workers(); ++i) sites.push_back(WorkerSite(i));
@@ -137,11 +138,12 @@ Result<TableId> Cluster::CreateTable(const TableSpec& spec) {
                           : spec.schema.Reordered(r.column_order);
     std::string indexed =
         r.indexed_column.empty() ? spec.indexed_column : r.indexed_column;
+    const bool columnar = r.columnar < 0 ? spec.columnar : r.columnar != 0;
     HARBOR_RETURN_NOT_OK(
         catalog_
             .AddReplica(table, WorkerSite(r.worker_index), r.partition,
                         std::move(physical), r.segment_page_budget,
-                        std::move(indexed))
+                        std::move(indexed), columnar)
             .status());
   }
   for (const ReplicaSpec& r : replicas) {

@@ -52,6 +52,9 @@ struct ReplicaSpec {
   /// Integer column to maintain a per-segment secondary index on ("" =
   /// none; overrides TableSpec::indexed_column when set).
   std::string indexed_column;
+  /// Columnar sealed segments: -1 inherits TableSpec::columnar, 0 forces
+  /// row format, 1 forces columnar — replicas of one table may differ.
+  int columnar = -1;
 };
 
 struct TableSpec {
@@ -70,6 +73,9 @@ struct TableSpec {
   uint32_t default_segment_page_budget = 64;
   /// Default secondary-index column applied to every replica ("" = none).
   std::string indexed_column;
+  /// Serve sealed segments from dictionary-encoded columnar images (the
+  /// open tail segment always stays row-format).
+  bool columnar = false;
 };
 
 /// A pre-timestamped row for bulk loading (§4.2's segment-based bulk load).

@@ -45,7 +45,8 @@ Result<ObjectId> GlobalCatalog::AddReplica(TableId table, SiteId site,
                                            PartitionRange partition,
                                            Schema physical_schema,
                                            uint32_t segment_page_budget,
-                                           std::string indexed_column) {
+                                           std::string indexed_column,
+                                           bool columnar) {
   std::lock_guard<std::mutex> lock(mu_);
   if (table == 0 || table > tables_.size()) {
     return Status::NotFound("no table " + std::to_string(table));
@@ -62,6 +63,7 @@ Result<ObjectId> GlobalCatalog::AddReplica(TableId table, SiteId site,
   p.physical_schema = std::move(physical_schema);
   p.segment_page_budget = segment_page_budget;
   p.indexed_column = std::move(indexed_column);
+  p.columnar = columnar;
   ObjectId id = p.object_id;
   def->replicas.push_back(std::move(p));
   return id;
@@ -153,7 +155,8 @@ Result<std::vector<ObjectId>> GlobalCatalog::PlaceTable(
       HARBOR_ASSIGN_OR_RETURN(
           ObjectId id,
           AddReplica(table, ranked[r], range, logical,
-                     spec.segment_page_budget, spec.indexed_column));
+                     spec.segment_page_budget, spec.indexed_column,
+                     spec.columnar));
       out.push_back(id);
     }
   }

@@ -29,6 +29,9 @@ struct ReplicaPlacement {
   /// replicas may even be indexed differently (§3.1: different physical
   /// representations per copy).
   std::string indexed_column;
+  /// Sealed segments of this replica are served from dictionary-encoded
+  /// columnar images (another per-copy physical choice, like the index).
+  bool columnar = false;
 };
 
 /// \brief A logical table and its K-safe placement.
@@ -61,6 +64,7 @@ struct PlacementSpec {
   int64_t domain_hi = 0;
   uint32_t segment_page_budget = 64;
   std::string indexed_column;
+  bool columnar = false;
 };
 
 /// \brief The replicated cluster-wide catalog: tables, schemas, and replica
@@ -80,7 +84,8 @@ class GlobalCatalog {
   Result<ObjectId> AddReplica(TableId table, SiteId site,
                               PartitionRange partition, Schema physical_schema,
                               uint32_t segment_page_budget,
-                              std::string indexed_column = "");
+                              std::string indexed_column = "",
+                              bool columnar = false);
 
   Result<const TableDef*> GetTable(TableId id) const;
   Result<const TableDef*> GetTableByName(const std::string& name) const;

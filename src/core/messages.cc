@@ -1,5 +1,7 @@
 #include "core/messages.h"
 
+#include "storage/column_block.h"
+
 namespace harbor {
 
 namespace {
@@ -135,8 +137,13 @@ Message ScanReplyMsg::Encode() const {
     }
   } else {
     schema.Serialize(&out);
-    out.WriteU32(static_cast<uint32_t>(tuples.size()));
-    for (const Tuple& t : tuples) t.Serialize(schema, &out);
+    out.WriteBool(columnar);
+    if (columnar) {
+      EncodeColumnBlock(schema, tuples, &out);
+    } else {
+      out.WriteU32(static_cast<uint32_t>(tuples.size()));
+      for (const Tuple& t : tuples) t.Serialize(schema, &out);
+    }
   }
   out.WriteBool(truncated);
   out.WriteU64(last_insertion_ts);
@@ -161,11 +168,16 @@ Result<ScanReplyMsg> ScanReplyMsg::Decode(const Message& m) {
     }
   } else {
     HARBOR_ASSIGN_OR_RETURN(r.schema, Schema::Deserialize(&in));
-    HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
-    r.tuples.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      HARBOR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r.schema, &in));
-      r.tuples.push_back(std::move(t));
+    HARBOR_ASSIGN_OR_RETURN(r.columnar, in.ReadBool());
+    if (r.columnar) {
+      HARBOR_ASSIGN_OR_RETURN(r.tuples, DecodeColumnBlock(r.schema, &in));
+    } else {
+      HARBOR_ASSIGN_OR_RETURN(uint32_t n, in.ReadU32());
+      r.tuples.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        HARBOR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r.schema, &in));
+        r.tuples.push_back(std::move(t));
+      }
     }
   }
   HARBOR_ASSIGN_OR_RETURN(r.truncated, in.ReadBool());

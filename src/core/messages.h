@@ -147,6 +147,11 @@ struct ScanReplyMsg {
   bool minimal = false;
   // Full mode: the executing object's physical schema plus tuples.
   Schema schema;
+  /// Full mode only: ship `tuples` as dictionary/FOR-compressed column
+  /// blocks instead of per-tuple row images. Purely a wire encoding —
+  /// Decode rebuilds `tuples` either way, bit-identically — that shrinks
+  /// recovery catch-up chunks for columnar tables.
+  bool columnar = false;
   std::vector<Tuple> tuples;
   // Minimal mode: (tuple_id, deletion_time, insertion_time) triples.
   std::vector<IdDeletion> id_deletions;

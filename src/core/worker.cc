@@ -122,7 +122,8 @@ Status Worker::ProvisionReplicas() {
                             table->name + "@" +
                                 std::to_string(options_.site_id),
                             p.physical_schema, p.partition,
-                            p.segment_page_budget, p.indexed_column)
+                            p.segment_page_budget, p.indexed_column,
+                            p.columnar)
               .status());
     }
   }
@@ -639,6 +640,10 @@ Result<Message> Worker::HandleScan(const ScanMsg& m) {
     }
   } else {
     reply.schema = obj->schema;
+    // Columnar tables ship their tuples as dictionary/FOR-compressed column
+    // blocks — recovery catch-up chunks shrink, the receiver decodes back
+    // to identical tuples.
+    reply.columnar = obj->columnar;
     reply.tuples = std::move(tuples);
   }
   return reply.Encode();

@@ -26,6 +26,20 @@ bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
   return false;
 }
 
+bool CompareNumeric(double lhs, CompareOp op, double rhs) {
+  // Built from operator< alone, like CompareValues, so NaN behaves
+  // identically on both paths.
+  switch (op) {
+    case CompareOp::kEq: return !(lhs < rhs) && !(rhs < lhs);
+    case CompareOp::kNe: return lhs < rhs || rhs < lhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return !(rhs < lhs);
+    case CompareOp::kGt: return rhs < lhs;
+    case CompareOp::kGe: return !(lhs < rhs);
+  }
+  return false;
+}
+
 void ColumnPredicate::Serialize(ByteBufferWriter* out) const {
   out->WriteString(column);
   out->WriteU8(static_cast<uint8_t>(op));

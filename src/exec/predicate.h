@@ -66,6 +66,12 @@ class Predicate {
 /// Evaluates one comparison between values of compatible types.
 bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
 
+/// Comparison of two numeric views with exactly CompareValues' semantics
+/// (Value::operator< widens every numeric to double; this is the same
+/// comparison with the widening already done). Lets scan fast paths probe
+/// packed bytes or encoded vectors without constructing Values.
+bool CompareNumeric(double lhs, CompareOp op, double rhs);
+
 }  // namespace harbor
 
 #endif  // HARBOR_EXEC_PREDICATE_H_

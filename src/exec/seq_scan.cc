@@ -1,9 +1,11 @@
 #include "exec/seq_scan.h"
 
+#include <cstring>
 #include <iterator>
 #include <map>
 #include <utility>
 
+#include "exec/predicate.h"
 #include "storage/heap_page.h"
 
 namespace harbor {
@@ -38,6 +40,25 @@ Status SeqScanOperator::Open() {
     HARBOR_ASSIGN_OR_RETURN(size_t idx,
                             obj_->schema.ColumnIndex(spec_.range.column));
     range_column_ = static_cast<int>(idx);
+  }
+  // Numeric conjuncts against numeric constants can be tested on the packed
+  // row bytes — the page stores them as native fixed-width fields — so most
+  // non-matching slots are discarded before Tuple::Unpack materializes any
+  // Value. The full predicate still runs on unpacked tuples afterwards.
+  packed_probes_.clear();
+  {
+    const auto& conjuncts = spec_.predicate.conjuncts();
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      const size_t col = bound_predicate_[i];
+      if (obj_->schema.column(col).type == ColumnType::kChar ||
+          conjuncts[i].value.type() == ColumnType::kChar) {
+        continue;
+      }
+      packed_probes_.push_back(PackedProbe{
+          kTupleSystemHeaderBytes + obj_->schema.ColumnOffset(col),
+          obj_->schema.column(col).type, conjuncts[i].op,
+          conjuncts[i].value.AsNumeric()});
+    }
   }
   if (locking_ == ScanLocking::kPageLocks) {
     HARBOR_RETURN_NOT_OK(store_->lock_manager()->AcquireTableLock(
@@ -121,10 +142,18 @@ Status SeqScanOperator::LoadNextBatch() {
         exhausted_ = true;
         return Status::OK();
       }
-      segment_pages_ = obj_->file->PagesOfSegment(current_segment_);
-      current_page_ = 0;
+      const size_t seg = current_segment_++;
       ++segments_visited_;
-      ++current_segment_;
+      if (ColumnarEligible(seg)) {
+        HARBOR_ASSIGN_OR_RETURN(const bool served, ScanColumnarSegment(seg));
+        if (served) {
+          if (!batch_.empty()) return Status::OK();
+          continue;
+        }
+        // Image build failed: the row pages below stay the fallback.
+      }
+      segment_pages_ = obj_->file->PagesOfSegment(seg);
+      current_page_ = 0;
       continue;
     }
 
@@ -177,6 +206,30 @@ void SeqScanOperator::EvaluateSlot(const uint8_t* data, PageId pid,
   if (spec_.has_deletion_after && eff_del <= spec_.deletion_after) return;
   if (spec_.exclude_uncommitted && eff_ins == kUncommittedTimestamp) return;
 
+  for (const PackedProbe& p : packed_probes_) {
+    double lhs = 0.0;
+    switch (p.type) {
+      case ColumnType::kInt32: {
+        int32_t v;
+        std::memcpy(&v, data + p.offset, sizeof(v));
+        lhs = static_cast<double>(v);
+        break;
+      }
+      case ColumnType::kInt64: {
+        int64_t v;
+        std::memcpy(&v, data + p.offset, sizeof(v));
+        lhs = static_cast<double>(v);
+        break;
+      }
+      case ColumnType::kDouble:
+        std::memcpy(&lhs, data + p.offset, sizeof(lhs));
+        break;
+      case ColumnType::kChar:
+        continue;  // never registered as a probe
+    }
+    if (!CompareNumeric(lhs, p.op, p.rhs_num)) return;
+  }
+
   Tuple t = Tuple::Unpack(obj_->schema, data);
   t.set_deletion_ts(eff_del);  // present the snapshot view
   t.set_record_id(RecordId{pid, slot});
@@ -188,6 +241,35 @@ void SeqScanOperator::EvaluateSlot(const uint8_t* data, PageId pid,
   }
   if (!spec_.predicate.EvalBound(bound_predicate_, t)) return;
   batch_.push_back(std::move(t));
+}
+
+bool SeqScanOperator::ColumnarEligible(size_t seg) const {
+  if (!obj_->columnar) return false;
+  // Only sealed segments have a stable tuple set worth encoding; the open
+  // (tail) segment keeps receiving inserts and stays row-format.
+  return seg + 1 < obj_->file->num_segments();
+}
+
+Result<bool> SeqScanOperator::ScanColumnarSegment(size_t seg) {
+  // Up-to-date reads still take the segment's shared page locks before the
+  // image is consulted: StampCommit writes its stamps through to cached
+  // images before the committer's locks are released, so acquiring the
+  // locks orders this scan after every commit it must observe.
+  if (locking_ == ScanLocking::kPageLocks) {
+    for (const PageId& pid : obj_->file->PagesOfSegment(seg)) {
+      HARBOR_RETURN_NOT_OK(store_->lock_manager()->AcquirePageLock(
+          owner_, pid, LockMode::kShared));
+    }
+  }
+  auto image = store_->EnsureColumnarSegment(obj_, seg);
+  if (!image.ok()) return false;  // row pages stay the fallback
+  ColumnarSegmentScanner scanner(*image, &spec_, &bound_predicate_,
+                                 range_column_);
+  const VectorScanResult r = scanner.Scan(&batch_);
+  ++columnar_segments_;
+  if (r.zone_pruned) ++zone_pruned_segments_;
+  if (r.used_adaptive_index) ++adaptive_index_probes_;
+  return true;
 }
 
 Status SeqScanOperator::LoadCandidateBatch() {

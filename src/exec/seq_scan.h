@@ -6,6 +6,7 @@
 
 #include "exec/operator.h"
 #include "exec/scan_spec.h"
+#include "exec/vector_scan.h"
 #include "lock/lock_manager.h"
 #include "storage/local_catalog.h"
 #include "txn/version_store.h"
@@ -45,16 +46,37 @@ class SeqScanOperator : public Operator {
   size_t segments_visited() const { return segments_visited_; }
   size_t segments_pruned() const { return segments_pruned_; }
   size_t pages_visited() const { return pages_visited_; }
+  /// Sealed segments served from their columnar image (no page access).
+  size_t columnar_segments() const { return columnar_segments_; }
+  /// Columnar segments skipped entirely by zone (min/max) stats.
+  size_t zone_pruned_segments() const { return zone_pruned_segments_; }
+  /// Columnar segments resolved through a per-segment adaptive eq index.
+  size_t adaptive_index_probes() const { return adaptive_index_probes_; }
   /// True when this scan resolved through the secondary index.
   bool used_index() const { return use_index_; }
 
  private:
+  /// A cheap predicate probe evaluated on packed row bytes before a slot is
+  /// unpacked into a Tuple: numeric column vs numeric constant, compared
+  /// through the same double widening CompareValues applies.
+  struct PackedProbe {
+    uint32_t offset = 0;  // byte offset of the column within the slot
+    ColumnType type = ColumnType::kInt64;
+    CompareOp op = CompareOp::kEq;
+    double rhs_num = 0.0;
+  };
+
   bool SegmentNeeded(size_t seg) const;
   Status LoadNextBatch();
   Status LoadCandidateBatch();
   /// Applies the spec's visibility, timestamp, range and column predicates
   /// to one occupied slot; appends the qualifying tuple to the batch.
   void EvaluateSlot(const uint8_t* data, PageId pid, uint16_t slot);
+  /// True when `seg` should be served from its columnar image.
+  bool ColumnarEligible(size_t seg) const;
+  /// Serves one sealed segment from its columnar image; false means the
+  /// image could not be built and the caller should fall back to row pages.
+  Result<bool> ScanColumnarSegment(size_t seg);
 
   VersionStore* const store_;
   TableObject* const obj_;
@@ -64,6 +86,7 @@ class SeqScanOperator : public Operator {
 
   std::vector<size_t> bound_predicate_;
   int range_column_ = -1;  // index of spec_.range.column, -1 if full
+  std::vector<PackedProbe> packed_probes_;
 
   size_t current_segment_ = 0;
   std::vector<PageId> segment_pages_;
@@ -79,6 +102,9 @@ class SeqScanOperator : public Operator {
   size_t segments_visited_ = 0;
   size_t segments_pruned_ = 0;
   size_t pages_visited_ = 0;
+  size_t columnar_segments_ = 0;
+  size_t zone_pruned_segments_ = 0;
+  size_t adaptive_index_probes_ = 0;
 };
 
 /// Continuation cursor for chunked recovery scans: a position in the strict

@@ -1,0 +1,259 @@
+#include "exec/vector_scan.h"
+
+#include <algorithm>
+
+#include "exec/predicate.h"
+
+namespace harbor {
+
+namespace {
+
+/// Mirrors CompareValues' numeric widening for an encoded column entry.
+double NumericAt(const EncodedColumn& c, size_t row) {
+  switch (c.encoding) {
+    case EncodedColumn::Encoding::kFrameOfReference: {
+      const int64_t v = c.for_base + static_cast<int64_t>(c.codes.Get(row));
+      if (c.type == ColumnType::kInt32) {
+        return static_cast<double>(static_cast<int32_t>(v));
+      }
+      return static_cast<double>(v);
+    }
+    case EncodedColumn::Encoding::kPlainDouble:
+      return c.plain[row];
+    case EncodedColumn::Encoding::kDictionary:
+      return c.dict[c.codes.Get(row)].AsNumeric();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ColumnarSegmentScanner::ColumnarSegmentScanner(
+    std::shared_ptr<ColumnarSegment> seg, const ScanSpec* spec,
+    const std::vector<size_t>* bound, int range_column)
+    : seg_(std::move(seg)),
+      spec_(spec),
+      bound_(bound),
+      range_column_(range_column) {}
+
+bool ColumnarSegmentScanner::ZonePrunesSegment() const {
+  const auto& conjuncts = spec_->predicate.conjuncts();
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const ColumnPredicate& p = conjuncts[i];
+    if (p.op == CompareOp::kNe) continue;
+    const EncodedColumn& c = seg_->column((*bound_)[i]);
+    if (!c.has_zone) continue;
+    bool prune = false;
+    switch (p.op) {
+      case CompareOp::kEq:
+        prune = CompareValues(p.value, CompareOp::kLt, c.zone_min) ||
+                CompareValues(c.zone_max, CompareOp::kLt, p.value);
+        break;
+      case CompareOp::kLt:
+        prune = CompareValues(c.zone_min, CompareOp::kGe, p.value);
+        break;
+      case CompareOp::kLe:
+        prune = CompareValues(c.zone_min, CompareOp::kGt, p.value);
+        break;
+      case CompareOp::kGt:
+        prune = CompareValues(c.zone_max, CompareOp::kLe, p.value);
+        break;
+      case CompareOp::kGe:
+        prune = CompareValues(c.zone_max, CompareOp::kLt, p.value);
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+    if (prune) return true;
+  }
+  // Partition-range pruning on integral zone stats ([lo, hi) on one column).
+  if (range_column_ >= 0) {
+    const EncodedColumn& c = seg_->column(static_cast<size_t>(range_column_));
+    if (c.has_zone &&
+        (c.type == ColumnType::kInt32 || c.type == ColumnType::kInt64)) {
+      const int64_t zmin = c.zone_min.type() == ColumnType::kInt32
+                               ? c.zone_min.AsInt32()
+                               : c.zone_min.AsInt64();
+      const int64_t zmax = c.zone_max.type() == ColumnType::kInt32
+                               ? c.zone_max.AsInt32()
+                               : c.zone_max.AsInt64();
+      if (zmax < spec_->range.lo || zmin >= spec_->range.hi) return true;
+    }
+  }
+  return false;
+}
+
+int64_t ColumnarSegmentScanner::RangeKeyOf(size_t row) const {
+  const EncodedColumn& c = seg_->column(static_cast<size_t>(range_column_));
+  switch (c.encoding) {
+    case EncodedColumn::Encoding::kFrameOfReference: {
+      const int64_t v = c.for_base + static_cast<int64_t>(c.codes.Get(row));
+      return c.type == ColumnType::kInt32 ? static_cast<int32_t>(v) : v;
+    }
+    case EncodedColumn::Encoding::kPlainDouble:
+      return static_cast<int64_t>(c.plain[row]);
+    case EncodedColumn::Encoding::kDictionary: {
+      const Value& v = c.dict[c.codes.Get(row)];
+      switch (v.type()) {
+        case ColumnType::kInt32: return v.AsInt32();
+        case ColumnType::kInt64: return v.AsInt64();
+        default: return static_cast<int64_t>(v.AsNumeric());
+      }
+    }
+  }
+  return 0;
+}
+
+bool ColumnarSegmentScanner::EvalRow(
+    size_t row, const std::vector<ConjunctEval>& evals) const {
+  for (const ConjunctEval& e : evals) {
+    const EncodedColumn& c = seg_->column(e.col);
+    switch (e.kind) {
+      case ConjunctEval::Kind::kCodeTable:
+        if (!e.code_ok[c.codes.Get(row)]) return false;
+        break;
+      case ConjunctEval::Kind::kNumericFor:
+      case ConjunctEval::Kind::kNumericDouble:
+        if (!CompareNumeric(NumericAt(c, row), e.op, e.rhs_num)) return false;
+        break;
+      case ConjunctEval::Kind::kGeneric:
+        if (!CompareValues(c.ValueAt(row), e.op, *e.rhs)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+VectorScanResult ColumnarSegmentScanner::Scan(std::deque<Tuple>* out) {
+  VectorScanResult result;
+  SegmentScanStats& stats = seg_->stats();
+  stats.scans.fetch_add(1, std::memory_order_relaxed);
+
+  if (seg_->num_rows() == 0) return result;
+  if (ZonePrunesSegment()) {
+    stats.zone_prunes.fetch_add(1, std::memory_order_relaxed);
+    result.zone_pruned = true;
+    return result;
+  }
+
+  // Compile the conjunction against this segment's encodings. Dictionary
+  // columns evaluate the comparison once per distinct value, so the per-row
+  // work is a table lookup regardless of the constant's type.
+  const auto& conjuncts = spec_->predicate.conjuncts();
+  std::vector<ConjunctEval> evals(conjuncts.size());
+  int driver = -1;  // conjunct driving an adaptive-index probe
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    ConjunctEval& e = evals[i];
+    e.col = (*bound_)[i];
+    e.op = conjuncts[i].op;
+    e.rhs = &conjuncts[i].value;
+    const EncodedColumn& c = seg_->column(e.col);
+    switch (c.encoding) {
+      case EncodedColumn::Encoding::kDictionary: {
+        e.kind = ConjunctEval::Kind::kCodeTable;
+        e.code_ok.resize(c.dict.size());
+        for (size_t code = 0; code < c.dict.size(); ++code) {
+          e.code_ok[code] = CompareValues(c.dict[code], e.op, *e.rhs) ? 1 : 0;
+        }
+        if (e.op == CompareOp::kEq) {
+          const uint32_t probes = seg_->NoteEqProbe(e.col);
+          if (probes >= kAdaptiveIndexThreshold) {
+            seg_->MaybeBuildAdaptiveIndex(e.col, kAdaptiveIndexThreshold);
+          }
+          if (driver < 0 && seg_->HasAdaptiveIndex(e.col)) {
+            driver = static_cast<int>(i);
+          }
+        }
+        break;
+      }
+      case EncodedColumn::Encoding::kFrameOfReference:
+      case EncodedColumn::Encoding::kPlainDouble:
+        if (e.rhs->type() == ColumnType::kChar) {
+          e.kind = ConjunctEval::Kind::kGeneric;  // crashes like the row path
+        } else {
+          e.kind = c.encoding == EncodedColumn::Encoding::kPlainDouble
+                       ? ConjunctEval::Kind::kNumericDouble
+                       : ConjunctEval::Kind::kNumericFor;
+          e.rhs_num = e.rhs->AsNumeric();
+        }
+        break;
+    }
+  }
+
+  // Candidate rows: the adaptive index's row lists for the driver's
+  // qualifying codes, or every row.
+  std::vector<uint32_t> indexed_rows;
+  bool use_index = false;
+  if (driver >= 0) {
+    const ConjunctEval& e = evals[static_cast<size_t>(driver)];
+    for (size_t code = 0; code < e.code_ok.size(); ++code) {
+      if (!e.code_ok[code]) continue;
+      const std::vector<uint32_t>* rows = seg_->AdaptiveRows(e.col, code);
+      if (rows != nullptr) {
+        indexed_rows.insert(indexed_rows.end(), rows->begin(), rows->end());
+      }
+    }
+    std::sort(indexed_rows.begin(), indexed_rows.end());
+    use_index = true;
+    result.used_adaptive_index = true;
+    stats.index_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const size_t n = use_index ? indexed_rows.size() : seg_->num_rows();
+  for (size_t k = 0; k < n; ++k) {
+    const size_t row = use_index ? indexed_rows[k] : k;
+    if (!seg_->occupied(row)) continue;
+    ++result.rows_scanned;
+    if (!EvalRow(row, evals)) continue;
+
+    // Visibility — the exact EvaluateSlot logic over the mutable timestamp
+    // arrays.
+    const Timestamp eff_ins = seg_->insertion_ts(row);
+    Timestamp eff_del = seg_->deletion_ts(row);
+    switch (spec_->mode) {
+      case ScanMode::kVisible:
+        if (eff_ins == kUncommittedTimestamp || eff_ins > spec_->as_of) {
+          continue;
+        }
+        if (eff_del != kNotDeleted && eff_del <= spec_->as_of) continue;
+        break;
+      case ScanMode::kSeeDeleted:
+        break;
+      case ScanMode::kSeeDeletedHistorical:
+        if (eff_ins > spec_->as_of) continue;  // includes uncommitted
+        if (eff_del > spec_->as_of) eff_del = kNotDeleted;
+        break;
+    }
+    if (spec_->has_insertion_at_or_before &&
+        eff_ins > spec_->insertion_at_or_before) {
+      continue;
+    }
+    if (spec_->has_insertion_after && eff_ins <= spec_->insertion_after) {
+      continue;
+    }
+    if (spec_->has_deletion_after && eff_del <= spec_->deletion_after) {
+      continue;
+    }
+    if (spec_->exclude_uncommitted && eff_ins == kUncommittedTimestamp) {
+      continue;
+    }
+    if (range_column_ >= 0 && !spec_->range.Contains(RangeKeyOf(row))) {
+      continue;
+    }
+
+    Tuple t = seg_->MaterializeRow(row);
+    // Use the timestamps the visibility checks saw, not a re-read of the
+    // atomics (a concurrent commit stamp could land in between).
+    t.set_insertion_ts(eff_ins);
+    t.set_deletion_ts(eff_del);  // present the snapshot view
+    out->push_back(std::move(t));
+    ++result.rows_matched;
+  }
+  stats.rows_scanned.fetch_add(result.rows_scanned,
+                               std::memory_order_relaxed);
+  stats.rows_matched.fetch_add(result.rows_matched,
+                               std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace harbor

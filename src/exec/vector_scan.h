@@ -1,0 +1,81 @@
+#ifndef HARBOR_EXEC_VECTOR_SCAN_H_
+#define HARBOR_EXEC_VECTOR_SCAN_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "exec/scan_spec.h"
+#include "storage/columnar_segment.h"
+
+namespace harbor {
+
+/// Equality probes against one dictionary column before the per-segment
+/// code->rows adaptive index is built for it.
+inline constexpr uint32_t kAdaptiveIndexThreshold = 4;
+
+/// Outcome of one columnar segment scan (feeds SeqScanOperator's counters
+/// and the ablation bench).
+struct VectorScanResult {
+  bool zone_pruned = false;
+  bool used_adaptive_index = false;
+  size_t rows_scanned = 0;
+  size_t rows_matched = 0;
+};
+
+/// \brief Type-dispatched predicate evaluation over one encoded (columnar)
+/// segment.
+///
+/// Semantics are exactly SeqScanOperator::EvaluateSlot's, restated over the
+/// encoded vectors:
+///  - dictionary columns evaluate the predicate once per *distinct value*
+///    (CompareValues over the dictionary), then filter rows by code lookup;
+///  - frame-of-reference and plain-double columns compare through the same
+///    double widening CompareValues applies to numerics;
+///  - zone (min/max) stats prune whole segments before touching any row;
+///  - a hot equality column (>= kAdaptiveIndexThreshold probes) gets a
+///    per-segment code->rows index and subsequent scans walk only matches.
+/// Qualifying rows are materialized in page/slot order — the row path's
+/// order — with visibility / SEE-DELETED / HISTORICAL and the timestamp
+/// range conjuncts applied per row from the segment's mutable timestamp
+/// arrays.
+class ColumnarSegmentScanner {
+ public:
+  /// `bound` are the spec predicate's pre-bound column indices;
+  /// `range_column` indexes spec.range's column (-1 when the range is full).
+  ColumnarSegmentScanner(std::shared_ptr<ColumnarSegment> seg,
+                         const ScanSpec* spec,
+                         const std::vector<size_t>* bound, int range_column);
+
+  /// Runs the scan, appending qualifying tuples to `out` in row order.
+  VectorScanResult Scan(std::deque<Tuple>* out);
+
+ private:
+  struct ConjunctEval {
+    enum class Kind : uint8_t {
+      kCodeTable,      // dictionary column: per-code boolean table
+      kNumericFor,     // frame-of-reference integers vs numeric constant
+      kNumericDouble,  // plain doubles vs numeric constant
+      kGeneric,        // fallback: CompareValues on the materialized Value
+    };
+    Kind kind = Kind::kGeneric;
+    size_t col = 0;
+    CompareOp op = CompareOp::kEq;
+    const Value* rhs = nullptr;
+    double rhs_num = 0.0;
+    std::vector<uint8_t> code_ok;  // kCodeTable: dict-code -> qualifies
+  };
+
+  bool ZonePrunesSegment() const;
+  bool EvalRow(size_t row, const std::vector<ConjunctEval>& evals) const;
+  int64_t RangeKeyOf(size_t row) const;
+
+  const std::shared_ptr<ColumnarSegment> seg_;
+  const ScanSpec* const spec_;
+  const std::vector<size_t>* const bound_;
+  const int range_column_;
+};
+
+}  // namespace harbor
+
+#endif  // HARBOR_EXEC_VECTOR_SCAN_H_

@@ -1,0 +1,38 @@
+#ifndef HARBOR_STORAGE_COLUMN_BLOCK_H_
+#define HARBOR_STORAGE_COLUMN_BLOCK_H_
+
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace harbor {
+
+/// \brief Dictionary-compressed wire encoding of a batch of tuples,
+/// column-at-a-time (the "compressed chunk" format of columnar recovery
+/// catch-up).
+///
+/// Layout: row count, then the three system-field arrays (frame-of-reference
+/// base + fitted-width deltas — deletion timestamps are usually all zero and
+/// vanish entirely), then one block per schema column:
+///  - raw:        values verbatim at their packed width;
+///  - dictionary: distinct values + fitted-width codes;
+///  - frame-of-reference (integers): base + fitted-width deltas.
+/// The encoder picks the smallest of the applicable encodings per column.
+///
+/// Decoding reproduces exactly the tuples that the per-tuple wire format
+/// (Tuple::Serialize / Deserialize) would have carried: CHAR values are
+/// normalized through their packed representation (width-truncated, cut at
+/// the first NUL), so consumers — the recovery apply path above all — see
+/// bit-identical rows either way.
+void EncodeColumnBlock(const Schema& schema, const std::vector<Tuple>& tuples,
+                       ByteBufferWriter* out);
+
+Result<std::vector<Tuple>> DecodeColumnBlock(const Schema& schema,
+                                             ByteBufferReader* in);
+
+}  // namespace harbor
+
+#endif  // HARBOR_STORAGE_COLUMN_BLOCK_H_

@@ -20,7 +20,7 @@ LocalCatalog::LocalCatalog(FileManager* fm) : fm_(fm) {}
 Result<TableObject*> LocalCatalog::CreateObject(
     ObjectId object_id, TableId table_id, std::string name, Schema schema,
     PartitionRange partition, uint32_t segment_page_budget,
-    const std::string& indexed_column) {
+    const std::string& indexed_column, bool columnar) {
   std::lock_guard<std::mutex> lock(mu_);
   if (objects_.count(object_id)) {
     return Status::AlreadyExists("object " + std::to_string(object_id));
@@ -32,6 +32,7 @@ Result<TableObject*> LocalCatalog::CreateObject(
   obj->schema = std::move(schema);
   obj->partition = std::move(partition);
   obj->segment_page_budget = segment_page_budget;
+  obj->columnar = columnar;
   if (!indexed_column.empty()) {
     HARBOR_ASSIGN_OR_RETURN(size_t idx,
                             obj->schema.ColumnIndex(indexed_column));
@@ -83,6 +84,7 @@ Status LocalCatalog::OpenAll() {
     HARBOR_ASSIGN_OR_RETURN(obj->schema, Schema::Deserialize(&in));
     HARBOR_ASSIGN_OR_RETURN(obj->partition, PartitionRange::Deserialize(&in));
     HARBOR_ASSIGN_OR_RETURN(obj->segment_page_budget, in.ReadU32());
+    HARBOR_ASSIGN_OR_RETURN(obj->columnar, in.ReadBool());
     HARBOR_ASSIGN_OR_RETURN(std::string indexed_column, in.ReadString());
     if (!indexed_column.empty()) {
       HARBOR_ASSIGN_OR_RETURN(size_t idx,
@@ -108,6 +110,7 @@ Status LocalCatalog::Persist() {
     obj->schema.Serialize(&out);
     obj->partition.Serialize(&out);
     out.WriteU32(obj->segment_page_budget);
+    out.WriteBool(obj->columnar);
     out.WriteString(obj->secondary ? obj->secondary->column() : "");
   }
   const std::string path = fm_->dir() + "/catalog.meta";

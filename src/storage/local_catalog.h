@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "storage/columnar_segment.h"
 #include "storage/file_manager.h"
 #include "storage/partition.h"
 #include "storage/schema.h"
@@ -40,6 +41,14 @@ struct TableObject {
   std::unique_ptr<SecondaryIndex> secondary;
   /// Index of the indexed column within `schema` (-1 when none).
   int secondary_column = -1;
+
+  /// Columnar storage format: sealed segments are served from encoded
+  /// per-column vectors (dictionary / frame-of-reference) cached in
+  /// `columnar_cache`; the row pages stay authoritative and the open (tail)
+  /// segment stays row-format and write-optimized. Persisted DDL-time flag.
+  bool columnar = false;
+  /// Volatile like the indexes: images are rebuilt lazily after a restart.
+  ColumnarCache columnar_cache;
 };
 
 /// \brief The per-site catalog of stored objects, persisted in the site
@@ -51,12 +60,14 @@ class LocalCatalog {
 
   /// Creates a new object backed by a fresh segmented heap file.
   /// `indexed_column` names an INT32/INT64 column to maintain a per-segment
-  /// secondary index on ("" = none).
+  /// secondary index on ("" = none). `columnar` selects the columnar
+  /// sealed-segment format for the object.
   Result<TableObject*> CreateObject(ObjectId object_id, TableId table_id,
                                     std::string name, Schema schema,
                                     PartitionRange partition,
                                     uint32_t segment_page_budget,
-                                    const std::string& indexed_column = "");
+                                    const std::string& indexed_column = "",
+                                    bool columnar = false);
 
   /// Reopens all objects recorded in the on-disk catalog. Indexes are left
   /// empty; callers rebuild them (see VersionStore::RebuildIndex).

@@ -171,6 +171,10 @@ Result<RecordId> VersionStore::InsertTuple(TxnState* txn, TableObject* obj,
 
   HARBOR_ASSIGN_OR_RETURN(size_t seg, obj->file->SegmentOfPage(pid.page_no));
   obj->file->NoteUncommittedInsertion(seg);
+  // Inserts target the open segment, which is never cached in columnar
+  // form; if a rollover raced us into a just-sealed segment, drop its image
+  // (the encoded columns cannot absorb a new value).
+  if (obj->columnar) obj->columnar_cache.Invalidate(seg);
   obj->index.Insert(staged.tuple_id(), rid);
   if (obj->secondary != nullptr) {
     obj->secondary->Insert(seg, SecondaryKeyOf(obj, staged), rid);
@@ -225,32 +229,44 @@ Status VersionStore::StampCommit(TxnState* txn, Timestamp commit_ts) {
   for (const InsertionEntry& e : txn->insertions) {
     HARBOR_ASSIGN_OR_RETURN(TableObject * obj, catalog_->GetObject(e.object_id));
     HARBOR_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage(e.rid.page));
-    PageLatchGuard latch(handle);
-    HeapPage view(handle.data(), obj->schema.tuple_bytes());
-    uint8_t* data = view.TupleData(e.rid.slot);
-    PackedSystemHeader h = PackedSystemHeader::Read(data);
-    Lsn lsn = LogStamp(txn, e.object_id, e.rid, StampField::kInsertion,
-                       h.insertion_ts, commit_ts);
-    h.insertion_ts = commit_ts;
-    h.Write(data);
-    if (lsn != kInvalidLsn) view.set_page_lsn(lsn);
-    handle.MarkDirty(lsn);
+    {
+      PageLatchGuard latch(handle);
+      HeapPage view(handle.data(), obj->schema.tuple_bytes());
+      uint8_t* data = view.TupleData(e.rid.slot);
+      PackedSystemHeader h = PackedSystemHeader::Read(data);
+      Lsn lsn = LogStamp(txn, e.object_id, e.rid, StampField::kInsertion,
+                         h.insertion_ts, commit_ts);
+      h.insertion_ts = commit_ts;
+      h.Write(data);
+      if (lsn != kInvalidLsn) view.set_page_lsn(lsn);
+      handle.MarkDirty(lsn);
+    }
     obj->file->NoteCommittedInsertion(e.segment_idx, commit_ts);
+    // Write-through after the latch is released (the columnar cache's mutex
+    // is taken *before* page latches by segment builds).
+    if (obj->columnar) {
+      obj->columnar_cache.StampInsertion(e.segment_idx, e.rid, commit_ts);
+    }
   }
   for (const DeletionEntry& e : txn->deletions) {
     HARBOR_ASSIGN_OR_RETURN(TableObject * obj, catalog_->GetObject(e.object_id));
     HARBOR_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage(e.rid.page));
-    PageLatchGuard latch(handle);
-    HeapPage view(handle.data(), obj->schema.tuple_bytes());
-    uint8_t* data = view.TupleData(e.rid.slot);
-    PackedSystemHeader h = PackedSystemHeader::Read(data);
-    Lsn lsn = LogStamp(txn, e.object_id, e.rid, StampField::kDeletion,
-                       h.deletion_ts, commit_ts);
-    h.deletion_ts = commit_ts;
-    h.Write(data);
-    if (lsn != kInvalidLsn) view.set_page_lsn(lsn);
-    handle.MarkDirty(lsn);
+    {
+      PageLatchGuard latch(handle);
+      HeapPage view(handle.data(), obj->schema.tuple_bytes());
+      uint8_t* data = view.TupleData(e.rid.slot);
+      PackedSystemHeader h = PackedSystemHeader::Read(data);
+      Lsn lsn = LogStamp(txn, e.object_id, e.rid, StampField::kDeletion,
+                         h.deletion_ts, commit_ts);
+      h.deletion_ts = commit_ts;
+      h.Write(data);
+      if (lsn != kInvalidLsn) view.set_page_lsn(lsn);
+      handle.MarkDirty(lsn);
+    }
     obj->file->NoteCommittedDeletion(e.segment_idx, commit_ts);
+    if (obj->columnar) {
+      obj->columnar_cache.StampDeletion(e.segment_idx, e.rid, commit_ts);
+    }
   }
   return Status::OK();
 }
@@ -290,6 +306,9 @@ Status VersionStore::RollbackTransaction(TxnState* txn) {
       handle.MarkDirty(clr_lsn);
     }
     obj->index.Remove(it->tuple_id, it->rid);
+    if (obj->columnar) {
+      obj->columnar_cache.FreeRow(it->segment_idx, it->rid);
+    }
     // The freed slot may be before the insert hint; rewind it so dense
     // packing reuses the hole.
     std::lock_guard<std::mutex> lock(hint_mu_);
@@ -328,6 +347,7 @@ Result<RecordId> VersionStore::InsertCommittedTuple(TableObject* obj,
   }
   RecordId rid{pid, slot};
   HARBOR_ASSIGN_OR_RETURN(size_t seg, obj->file->SegmentOfPage(pid.page_no));
+  if (obj->columnar) obj->columnar_cache.Invalidate(seg);
   if (tuple.insertion_ts() != kUncommittedTimestamp) {
     obj->file->NoteCommittedInsertion(seg, tuple.insertion_ts());
   } else {
@@ -384,6 +404,7 @@ Status VersionStore::InsertCommittedTuples(TableObject* obj,
     }
     empty_acquires = 0;
     HARBOR_ASSIGN_OR_RETURN(size_t seg, obj->file->SegmentOfPage(pid.page_no));
+    if (obj->columnar) obj->columnar_cache.Invalidate(seg);
     for (size_t k = 0; k < slots.size(); ++k) {
       const Tuple& t = tuples[first + k];
       RecordId rid{pid, slots[k]};
@@ -420,11 +441,12 @@ Status VersionStore::SetDeletionTs(TableObject* obj, RecordId rid,
     h.Write(data);
     handle.MarkDirty();
   }
+  HARBOR_ASSIGN_OR_RETURN(size_t seg,
+                          obj->file->SegmentOfPage(rid.page.page_no));
   if (ts != kNotDeleted) {
-    HARBOR_ASSIGN_OR_RETURN(size_t seg,
-                            obj->file->SegmentOfPage(rid.page.page_no));
     obj->file->NoteCommittedDeletion(seg, ts);
   }
+  if (obj->columnar) obj->columnar_cache.StampDeletion(seg, rid, ts);
   return Status::OK();
 }
 
@@ -449,6 +471,10 @@ Status VersionStore::PhysicalDelete(TableObject* obj, RecordId rid) {
     handle.MarkDirty();
   }
   obj->index.Remove(tid, rid);
+  if (obj->columnar) {
+    auto seg = obj->file->SegmentOfPage(rid.page.page_no);
+    if (seg.ok()) obj->columnar_cache.FreeRow(*seg, rid);
+  }
   std::lock_guard<std::mutex> lock(hint_mu_);
   uint32_t& h = insert_hints_[obj->object_id];
   if (rid.page.page_no < h) h = rid.page.page_no;
@@ -497,6 +523,36 @@ Status VersionStore::RebuildIndex(TableObject* obj) {
   }
   obj->index_built = true;
   return Status::OK();
+}
+
+Result<std::shared_ptr<ColumnarSegment>> VersionStore::EnsureColumnarSegment(
+    TableObject* obj, size_t seg) {
+  if (seg >= obj->file->num_segments()) {
+    return Status::InvalidArgument("columnar: no such segment");
+  }
+  return obj->columnar_cache.GetOrBuild(
+      seg, [&]() -> Result<std::shared_ptr<ColumnarSegment>> {
+        // Sealed segments have a fixed page range; copy each page under its
+        // latch and parse the copies outside. The cache mutex (held by
+        // GetOrBuild around this builder) makes any concurrent post-sealing
+        // mutation either visible in the copy or re-applied by its hook
+        // right after the image is published.
+        const SegmentInfo info = obj->file->segment(seg);
+        std::vector<std::vector<uint8_t>> pages;
+        pages.reserve(info.num_pages);
+        for (const PageId& pid : obj->file->PagesOfSegment(seg)) {
+          HARBOR_ASSIGN_OR_RETURN(
+              PageHandle handle, pool_->GetPage(pid, /*sequential=*/true));
+          std::vector<uint8_t> copy(kPageSize);
+          {
+            PageLatchGuard latch(handle);
+            std::memcpy(copy.data(), handle.data(), kPageSize);
+          }
+          pages.push_back(std::move(copy));
+        }
+        return ColumnarSegment::Build(obj->schema, obj->file->file_id(),
+                                      info.start_page, pages);
+      });
 }
 
 std::vector<size_t> VersionStore::SegmentsWithUncommitted(

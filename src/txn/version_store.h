@@ -99,6 +99,14 @@ class VersionStore {
   /// §5.1).
   Status EnsureIndex(TableObject* obj);
 
+  /// Returns the columnar image of sealed segment `seg`, building it from
+  /// latched page copies on first use (volatile, like the indexes: rebuilt
+  /// lazily after a restart). The object's row pages stay authoritative;
+  /// post-sealing mutations (commit stamps, physical deletes, rollbacks)
+  /// are written through to cached images by the mutation paths below.
+  Result<std::shared_ptr<ColumnarSegment>> EnsureColumnarSegment(
+      TableObject* obj, size_t seg);
+
   /// Segments of `obj` that currently hold uncommitted tuples of live
   /// transactions (consulted by the checkpointer to maintain the
   /// may_have_uncommitted flags).

@@ -443,7 +443,8 @@ TEST(LocalCatalogTest, PersistAndReopen) {
                   .status());
     ASSERT_OK(catalog
                   .CreateObject(6, 2, "emp2@1", SmallSchema().Reordered({2, 1, 0}),
-                                PartitionRange::Full(), 16)
+                                PartitionRange::Full(), 16, /*indexed_column=*/"",
+                                /*columnar=*/true)
                   .status());
   }
   FileManager fm(dir, nullptr);
@@ -453,8 +454,10 @@ TEST(LocalCatalogTest, PersistAndReopen) {
   EXPECT_EQ(obj->name, "emp@1");
   EXPECT_EQ(obj->partition, PartitionRange::On("id", 0, 100));
   EXPECT_EQ(obj->segment_page_budget, 8u);
+  EXPECT_FALSE(obj->columnar);
   ASSERT_OK_AND_ASSIGN(TableObject * obj2, catalog.GetObjectByName("emp2@1"));
   EXPECT_EQ(obj2->schema.column(0).name, "name");
+  EXPECT_TRUE(obj2->columnar);  // the format choice survives restart
   EXPECT_EQ(catalog.objects().size(), 2u);
   EXPECT_TRUE(catalog.GetObject(99).status().IsNotFound());
 }
