@@ -523,6 +523,27 @@ Status Coordinator::InsertTxn(TableId table, std::vector<Value> values,
   return Commit(txn);
 }
 
+Status Coordinator::UpdateTxn(TableId table, Predicate predicate,
+                              std::vector<SetClause> sets) {
+  HARBOR_ASSIGN_OR_RETURN(TxnId txn, Begin());
+  Status st = Update(txn, table, std::move(predicate), std::move(sets));
+  if (!st.ok()) {
+    (void)Abort(txn);
+    return st;
+  }
+  return Commit(txn);
+}
+
+Status Coordinator::DeleteTxn(TableId table, Predicate predicate) {
+  HARBOR_ASSIGN_OR_RETURN(TxnId txn, Begin());
+  Status st = Delete(txn, table, std::move(predicate));
+  if (!st.ok()) {
+    (void)Abort(txn);
+    return st;
+  }
+  return Commit(txn);
+}
+
 // ------------------------------------------------------------------ reads
 
 Timestamp Coordinator::StampStableTime() {

@@ -89,6 +89,11 @@ class Coordinator {
   /// workload unit).
   Status InsertTxn(TableId table, std::vector<Value> values,
                    int64_t cpu_work_cycles = 0);
+  /// Convenience: one predicate update / delete as its own transaction
+  /// (the trickle-update unit driven by the workload front-end).
+  Status UpdateTxn(TableId table, Predicate predicate,
+                   std::vector<SetClause> sets);
+  Status DeleteTxn(TableId table, Predicate predicate);
 
   // --- Reads ---
   /// Historical read-only query at time `as_of` (lock-free, §3.3); `as_of`

@@ -14,6 +14,25 @@ const char* CompareOpToString(CompareOp op) {
   return "?";
 }
 
+bool CompareOpFromString(const std::string& text, CompareOp* out) {
+  if (text == "=") {
+    *out = CompareOp::kEq;
+  } else if (text == "!=" || text == "<>") {
+    *out = CompareOp::kNe;
+  } else if (text == "<") {
+    *out = CompareOp::kLt;
+  } else if (text == "<=") {
+    *out = CompareOp::kLe;
+  } else if (text == ">") {
+    *out = CompareOp::kGt;
+  } else if (text == ">=") {
+    *out = CompareOp::kGe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
   switch (op) {
     case CompareOp::kEq: return !(lhs < rhs) && !(rhs < lhs);

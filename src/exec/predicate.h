@@ -16,6 +16,10 @@ enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CompareOpToString(CompareOp op);
 
+/// Inverse of CompareOpToString, plus the SQL alias `<>` for `!=`.
+/// Returns false when `text` is not a comparison operator.
+bool CompareOpFromString(const std::string& text, CompareOp* out);
+
 /// \brief One `column <op> constant` comparison. Columns are referenced by
 /// name so the same predicate applies to replicas with different column
 /// orders.

@@ -1,19 +1,13 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 namespace harbor::obs {
 
 namespace {
-
-size_t BucketIndex(int64_t value) {
-  if (value <= 0) return 0;
-  // bit_width(v): bucket i covers [2^(i-1), 2^i).
-  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(
-                         static_cast<unsigned long long>(value)));
-  return bits < Histogram::kNumBuckets ? bits : Histogram::kNumBuckets - 1;
-}
 
 void AtomicMin(std::atomic<int64_t>& target, int64_t value) {
   int64_t cur = target.load(std::memory_order_relaxed);
@@ -40,6 +34,20 @@ void AppendKv(std::string* out, const char* key, int64_t value, bool* first) {
 
 }  // namespace
 
+size_t Histogram::BucketIndex(int64_t value) {
+  if (value < static_cast<int64_t>(kSubBuckets)) {
+    return value <= 0 ? 0 : static_cast<size_t>(value);  // group 0: exact
+  }
+  // Group g >= 1 covers bit width kSubBucketBits + g; the kSubBucketBits
+  // bits below the leading bit select the linear sub-bucket.
+  const size_t bits = 64 - static_cast<size_t>(__builtin_clzll(
+                               static_cast<unsigned long long>(value)));
+  const size_t g = bits - kSubBucketBits;  // 1..59 for positive int64
+  const size_t sub = (static_cast<uint64_t>(value) >> (g - 1)) &
+                     (kSubBuckets - 1);
+  return g * kSubBuckets + sub;
+}
+
 void Histogram::Record(int64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -54,7 +62,51 @@ double Histogram::mean() const {
 }
 
 int64_t Histogram::BucketLowerBound(size_t i) {
-  return i == 0 ? 0 : static_cast<int64_t>(1) << (i - 1);
+  const size_t g = i / kSubBuckets;
+  const size_t sub = i % kSubBuckets;
+  if (g == 0) return static_cast<int64_t>(sub);
+  return static_cast<int64_t>(kSubBuckets + sub) << (g - 1);
+}
+
+namespace {
+
+/// Exclusive upper bound of bucket i, clamped to int64 max at the top.
+int64_t BucketUpperBound(size_t i) {
+  if (i + 1 >= Histogram::kNumBuckets) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return Histogram::BucketLowerBound(i + 1);
+}
+
+}  // namespace
+
+int64_t Histogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const int64_t c = static_cast<int64_t>(bucket(i));
+    if (seen + c >= rank) {
+      // Interpolate linearly within the bucket, clamped to what was
+      // actually observed so single-sample buckets report exact values.
+      int64_t lo = BucketLowerBound(i);
+      int64_t hi = BucketUpperBound(i);
+      if (lo < min()) lo = min();
+      if (hi > max()) hi = max();
+      if (hi < lo) hi = lo;
+      const double frac =
+          c == 0 ? 1.0
+                 : static_cast<double>(rank - seen) / static_cast<double>(c);
+      return lo + static_cast<int64_t>(static_cast<double>(hi - lo) * frac);
+    }
+    seen += c;
+  }
+  return max();
 }
 
 int64_t Histogram::PercentileUpperBound(double p) const {
@@ -68,13 +120,20 @@ int64_t Histogram::PercentileUpperBound(double p) const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += static_cast<int64_t>(bucket(i));
     if (seen >= rank) {
-      // Exclusive upper bound of bucket i is 2^i; clamp to observed max.
-      int64_t upper =
-          i >= 63 ? max() : (static_cast<int64_t>(1) << i);
+      const int64_t upper = BucketUpperBound(i);
       return upper < max() ? upper : max();
     }
   }
   return max();
+}
+
+int64_t Histogram::CountAbove(int64_t value) const {
+  if (count() == 0 || max() <= value) return 0;
+  int64_t total = 0;
+  for (size_t i = BucketIndex(value) + 1; i < kNumBuckets; ++i) {
+    total += static_cast<int64_t>(bucket(i));
+  }
+  return total;
 }
 
 const char* CounterName(CounterId id) {
@@ -116,6 +175,9 @@ const char* CounterName(CounterId id) {
     case CounterId::kReadSnapshotScans: return "read.snapshot_scans";
     case CounterId::kReadLockScans: return "read.lock_scans";
     case CounterId::kReadLockBypass: return "read.lock_bypass";
+    case CounterId::kWlOps: return "wl.ops";
+    case CounterId::kWlOpFailures: return "wl.op_failures";
+    case CounterId::kWlRecoveries: return "wl.recoveries";
     case CounterId::kCount: break;
   }
   return "unknown";
@@ -152,6 +214,13 @@ const char* HistogramName(HistogramId id) {
     case HistogramId::kBufShardLockWaitNs: return "buf.shard_lock_wait_ns";
     case HistogramId::kReadSnapshotLagEpochs:
       return "read.snapshot_lag_epochs";
+    case HistogramId::kWlInsertNs: return "wl.insert_ns";
+    case HistogramId::kWlUpdateNs: return "wl.update_ns";
+    case HistogramId::kWlDeleteNs: return "wl.delete_ns";
+    case HistogramId::kWlSnapshotScanNs: return "wl.snapshot_scan_ns";
+    case HistogramId::kWlLockingScanNs: return "wl.locking_scan_ns";
+    case HistogramId::kWlHistoricalScanNs: return "wl.historical_scan_ns";
+    case HistogramId::kWlRecoveryNs: return "wl.recovery_ns";
     case HistogramId::kCount: break;
   }
   return "unknown";
@@ -160,7 +229,7 @@ const char* HistogramName(HistogramId id) {
 std::string Metrics::ToJson(SiteId site) const {
   std::string out;
   out.reserve(512);
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf), "{\"site\":%u,\"counters\":{",
                 static_cast<unsigned>(site));
   out.append(buf);
@@ -188,12 +257,13 @@ std::string Metrics::ToJson(SiteId site) const {
     std::snprintf(
         buf, sizeof(buf),
         "\"%s\":{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
-        "\"mean\":%.1f,\"p50\":%lld,\"p99\":%lld}",
+        "\"mean\":%.1f,\"p50\":%lld,\"p99\":%lld,\"p999\":%lld}",
         HistogramName(id), static_cast<long long>(h.count()),
         static_cast<long long>(h.sum()), static_cast<long long>(h.min()),
         static_cast<long long>(h.max()), h.mean(),
-        static_cast<long long>(h.PercentileUpperBound(0.5)),
-        static_cast<long long>(h.PercentileUpperBound(0.99)));
+        static_cast<long long>(h.Percentile(0.5)),
+        static_cast<long long>(h.Percentile(0.99)),
+        static_cast<long long>(h.Percentile(0.999)));
     out.append(buf);
   }
   out.append("}}");

@@ -39,13 +39,23 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Fixed-bucket histogram with power-of-two bucket boundaries: sample v >= 0
-/// lands in bucket bit_width(v), i.e. bucket i covers [2^(i-1), 2^i). With
-/// 48 buckets a nanosecond-valued histogram spans sub-ns to ~39 hours, so
-/// one shape fits latencies, byte counts, and batch sizes alike.
+/// Fixed-bucket log-linear histogram (the HdrHistogram layout): each
+/// power-of-two range ("octave") splits into 2^kSubBucketBits linear
+/// sub-buckets, so any bucket's width is at most 1/16 of its lower bound —
+/// a guaranteed <= 6.25% relative resolution at every magnitude. The old
+/// pure power-of-two layout halved-or-doubled at the top of the
+/// distribution, far too coarse for the p999 tail SLOs the workload driver
+/// reports; log-linear keeps recording one shift + one relaxed atomic.
+/// Values 0..15 land in exact buckets; bit widths up to 63 are covered, so
+/// a nanosecond-valued histogram still spans sub-ns to centuries.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 48;
+  static constexpr size_t kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;  // 16
+  /// Octave groups: group 0 is the exact range [0, 16); group g >= 1 covers
+  /// bit width kSubBucketBits + g, up to the full 63-bit positive range.
+  static constexpr size_t kGroups = 60;
+  static constexpr size_t kNumBuckets = kGroups * kSubBuckets;  // 960
 
   void Record(int64_t value);
 
@@ -58,11 +68,24 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   double mean() const;
-  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  /// Bucket index a sample lands in (clamps negatives to bucket 0).
+  static size_t BucketIndex(int64_t value);
+  /// Inclusive lower bound of bucket i (0..15 exact, then 16, 17, ... 31,
+  /// 32, 34, ... — 16 linear steps per octave).
   static int64_t BucketLowerBound(size_t i);
+  /// The p-th percentile sample (0 <= p <= 1), linearly interpolated within
+  /// its bucket and clamped to the observed [min, max]; 0 when empty. The
+  /// bucket layout bounds the error at 6.25% of the value.
+  int64_t Percentile(double p) const;
   /// Upper bound of the bucket containing the p-th percentile sample
-  /// (0 < p <= 1); 0 when empty. Coarse by design — bucket resolution.
+  /// (0 < p <= 1); 0 when empty. Kept for callers wanting a hard "no sample
+  /// exceeds this" bound rather than the interpolated estimate.
   int64_t PercentileUpperBound(double p) const;
+  /// Number of recorded samples strictly greater than `value`, counted at
+  /// bucket granularity (samples sharing `value`'s bucket are excluded, so
+  /// this can undercount by at most one bucket's width — conservative for
+  /// SLO stall detection).
+  int64_t CountAbove(int64_t value) const;
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
@@ -106,6 +129,9 @@ enum class CounterId : uint8_t {
   kReadSnapshotScans,      // scans served on the lock-free snapshot path
   kReadLockScans,          // scans served with S locks (forced locking reads)
   kReadLockBypass,         // lock acquisitions snapshot scans did NOT take
+  kWlOps,                  // workload-driver operations executed
+  kWlOpFailures,           // operations that returned an error to the driver
+  kWlRecoveries,           // forced crash+recover cycles the driver ran
   kCount,
 };
 
@@ -132,6 +158,15 @@ enum class HistogramId : uint8_t {
   kBufMissReadNs,          // wall latency of each miss's disk read
   kBufShardLockWaitNs,     // wall time spent acquiring a page-table shard
   kReadSnapshotLagEpochs,  // Now() - snapshot ts at serve time (staleness)
+  // Workload-driver per-operation latencies, measured from the op's
+  // *scheduled* open-loop arrival time (queueing delay included).
+  kWlInsertNs,
+  kWlUpdateNs,
+  kWlDeleteNs,
+  kWlSnapshotScanNs,
+  kWlLockingScanNs,
+  kWlHistoricalScanNs,
+  kWlRecoveryNs,           // forced mid-soak crash+recover wall time
   kCount,
 };
 

@@ -1,0 +1,285 @@
+#include "workload/executor.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace harbor::workload {
+
+const char* TxnFateName(TxnFate fate) {
+  switch (fate) {
+    case TxnFate::kNone: return "none";
+    case TxnFate::kCommitted: return "committed";
+    case TxnFate::kAborted: return "aborted";
+    case TxnFate::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Result<Value> CoerceValue(const Column& col, const Value& v) {
+  switch (col.type) {
+    case ColumnType::kInt32:
+      if (v.type() == ColumnType::kInt32) return v;
+      if (v.type() == ColumnType::kInt64) {
+        const int64_t x = v.AsInt64();
+        if (x < std::numeric_limits<int32_t>::min() ||
+            x > std::numeric_limits<int32_t>::max()) {
+          return Status::InvalidArgument("value " + std::to_string(x) +
+                                         " out of INT32 range for column " +
+                                         col.name);
+        }
+        return Value(static_cast<int32_t>(x));
+      }
+      break;
+    case ColumnType::kInt64:
+      if (v.type() == ColumnType::kInt64) return v;
+      if (v.type() == ColumnType::kInt32) {
+        return Value(static_cast<int64_t>(v.AsInt32()));
+      }
+      break;
+    case ColumnType::kDouble:
+      if (v.type() == ColumnType::kDouble) return v;
+      if (v.type() == ColumnType::kInt32) {
+        return Value(static_cast<double>(v.AsInt32()));
+      }
+      if (v.type() == ColumnType::kInt64) {
+        return Value(static_cast<double>(v.AsInt64()));
+      }
+      break;
+    case ColumnType::kChar:
+      if (v.type() == ColumnType::kChar) {
+        if (v.AsString().size() > col.width) {
+          return Status::InvalidArgument(
+              "string literal exceeds CHAR(" + std::to_string(col.width) +
+              ") column " + col.name);
+        }
+        return v;
+      }
+      break;
+  }
+  return Status::InvalidArgument("literal " + v.ToString() +
+                                 " does not fit " +
+                                 std::string(ColumnTypeToString(col.type)) +
+                                 " column " + col.name);
+}
+
+namespace {
+
+/// Coerces every conjunct's literal to its column's type; fails on unknown
+/// columns, so statements get bind-time errors instead of empty scans.
+Result<Predicate> BindPredicate(const Schema& schema, const Predicate& pred) {
+  std::vector<ColumnPredicate> bound;
+  bound.reserve(pred.conjuncts().size());
+  for (const ColumnPredicate& c : pred.conjuncts()) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(c.column));
+    HARBOR_ASSIGN_OR_RETURN(Value v, CoerceValue(schema.column(idx), c.value));
+    bound.push_back(ColumnPredicate{c.column, c.op, std::move(v)});
+  }
+  return Predicate(std::move(bound));
+}
+
+}  // namespace
+
+Executor::Executor(Cluster* cluster, Coordinator* coordinator)
+    : cluster_(cluster),
+      coord_(coordinator != nullptr ? coordinator : cluster->coordinator()) {}
+
+Result<const TableDef*> Executor::ResolveTable(const std::string& name) const {
+  return cluster_->catalog()->GetTableByName(name);
+}
+
+Result<StatementResult> Executor::Execute(const std::string& sql) {
+  HARBOR_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return Execute(stmt);
+}
+
+Result<StatementResult> Executor::Execute(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: return ExecCreateTable(stmt);
+    case StatementKind::kInsert: return ExecInsert(stmt);
+    case StatementKind::kUpdate: return ExecUpdateDelete(stmt);
+    case StatementKind::kDelete: return ExecUpdateDelete(stmt);
+    case StatementKind::kSelect: return ExecSelect(stmt);
+    case StatementKind::kBegin: return ExecBegin();
+    case StatementKind::kCommit: return ExecCommit();
+    case StatementKind::kAbort: return ExecAbort();
+  }
+  return Status::InvalidArgument("invalid statement kind");
+}
+
+Result<StatementResult> Executor::ExecCreateTable(const Statement& stmt) {
+  TableSpec spec;
+  spec.name = stmt.table;
+  spec.schema = stmt.schema;
+  spec.columnar = stmt.columnar;
+  spec.replication_factor = stmt.replication_factor;
+  spec.indexed_column = stmt.indexed_column;
+  HARBOR_ASSIGN_OR_RETURN(TableId id, cluster_->CreateTable(spec));
+  StatementResult out;
+  out.kind = stmt.kind;
+  out.table = id;
+  out.fate = TxnFate::kCommitted;  // DDL is not transactional here
+  return out;
+}
+
+template <typename Body>
+Result<StatementResult> Executor::RunDml(const Statement& stmt,
+                                         const Body& body) {
+  StatementResult out;
+  out.kind = stmt.kind;
+
+  if (txn_open_) {
+    // Multi-statement transaction: fate is decided at COMMIT/ABORT. A
+    // failing statement surfaces as an error; the transaction stays open
+    // (a later COMMIT will abort, matching the coordinator's failed flag).
+    HARBOR_RETURN_NOT_OK(body(txn_, &out));
+    out.fate = TxnFate::kNone;
+    return out;
+  }
+
+  // Auto-commit, with the chaos-harness outcome classification.
+  auto txn = coord_->Begin();
+  if (!txn.ok()) {
+    // No transaction ever started: certainly not applied.
+    out.fate = TxnFate::kAborted;
+    out.txn_status = txn.status();
+    return out;
+  }
+  Status st = body(*txn, &out);
+  if (!st.ok()) {
+    // Update distribution failed (drop, worker crash, injected error): the
+    // coordinator already aborted at every attempted site; certain.
+    if (coord_->running()) (void)coord_->Abort(*txn);
+    out.fate = TxnFate::kAborted;
+    out.txn_status = st;
+    return out;
+  }
+  st = coord_->Commit(*txn);
+  if (st.ok()) {
+    out.fate = TxnFate::kCommitted;
+  } else if (st.IsAborted()) {
+    out.fate = TxnFate::kAborted;
+    out.txn_status = st;
+  } else {
+    // Crash mid-commit-protocol: the outcome is whatever consensus or the
+    // restarted coordinator decides.
+    out.fate = TxnFate::kUnknown;
+    out.txn_status = st;
+  }
+  return out;
+}
+
+Result<StatementResult> Executor::ExecInsert(const Statement& stmt) {
+  HARBOR_ASSIGN_OR_RETURN(const TableDef* def, ResolveTable(stmt.table));
+  const Schema& schema = def->logical_schema;
+  if (stmt.values.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "INSERT supplies " + std::to_string(stmt.values.size()) +
+        " values for " + std::to_string(schema.num_columns()) +
+        " columns of " + stmt.table);
+  }
+  std::vector<Value> row;
+  row.reserve(stmt.values.size());
+  for (size_t i = 0; i < stmt.values.size(); ++i) {
+    HARBOR_ASSIGN_OR_RETURN(Value v,
+                            CoerceValue(schema.column(i), stmt.values[i]));
+    row.push_back(std::move(v));
+  }
+  const TableId table = def->id;
+  auto result = RunDml(stmt, [&](TxnId txn, StatementResult* out) {
+    out->table = table;
+    Status st = coord_->Insert(txn, table, row);
+    if (st.ok()) out->rows_affected = 1;
+    return st;
+  });
+  return result;
+}
+
+Result<StatementResult> Executor::ExecUpdateDelete(const Statement& stmt) {
+  HARBOR_ASSIGN_OR_RETURN(const TableDef* def, ResolveTable(stmt.table));
+  const Schema& schema = def->logical_schema;
+  HARBOR_ASSIGN_OR_RETURN(Predicate pred,
+                          BindPredicate(schema, stmt.predicate));
+  std::vector<SetClause> sets;
+  for (const SetClause& s : stmt.sets) {
+    HARBOR_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(s.column));
+    HARBOR_ASSIGN_OR_RETURN(Value v, CoerceValue(schema.column(idx), s.value));
+    sets.push_back(SetClause{s.column, std::move(v)});
+  }
+  const TableId table = def->id;
+  const bool is_update = stmt.kind == StatementKind::kUpdate;
+  return RunDml(stmt, [&](TxnId txn, StatementResult* out) {
+    out->table = table;
+    // The distribution protocol acknowledges without per-site match counts
+    // (replicas would multiply-count them); -1 = applied, count unknown.
+    out->rows_affected = -1;
+    return is_update ? coord_->Update(txn, table, pred, sets)
+                     : coord_->Delete(txn, table, pred);
+  });
+}
+
+Result<StatementResult> Executor::ExecSelect(const Statement& stmt) {
+  HARBOR_ASSIGN_OR_RETURN(const TableDef* def, ResolveTable(stmt.table));
+  const Schema& schema = def->logical_schema;
+  HARBOR_ASSIGN_OR_RETURN(Predicate pred,
+                          BindPredicate(schema, stmt.predicate));
+  StatementResult out;
+  out.kind = stmt.kind;
+  out.table = def->id;
+  out.schema = schema;
+  Result<std::vector<Tuple>> rows =
+      stmt.as_of != 0 ? coord_->HistoricalQuery(def->id, pred, stmt.as_of)
+      : stmt.with_locks
+          ? coord_->Query(def->id, pred, ReadMode::kLocking)
+          : coord_->Query(def->id, pred);
+  HARBOR_RETURN_NOT_OK(rows.status());
+  out.rows = std::move(rows).value();
+  out.rows_affected = static_cast<int64_t>(out.rows.size());
+  out.fate = TxnFate::kCommitted;  // reads have no update to lose
+  return out;
+}
+
+Result<StatementResult> Executor::ExecBegin() {
+  if (txn_open_) {
+    return Status::InvalidArgument("BEGIN inside an open transaction");
+  }
+  HARBOR_ASSIGN_OR_RETURN(txn_, coord_->Begin());
+  txn_open_ = true;
+  StatementResult out;
+  out.kind = StatementKind::kBegin;
+  return out;
+}
+
+Result<StatementResult> Executor::ExecCommit() {
+  if (!txn_open_) {
+    return Status::InvalidArgument("COMMIT without an open transaction");
+  }
+  txn_open_ = false;
+  StatementResult out;
+  out.kind = StatementKind::kCommit;
+  Status st = coord_->Commit(txn_);
+  if (st.ok()) {
+    out.fate = TxnFate::kCommitted;
+  } else if (st.IsAborted()) {
+    out.fate = TxnFate::kAborted;
+    out.txn_status = st;
+  } else {
+    out.fate = TxnFate::kUnknown;
+    out.txn_status = st;
+  }
+  return out;
+}
+
+Result<StatementResult> Executor::ExecAbort() {
+  if (!txn_open_) {
+    return Status::InvalidArgument("ABORT without an open transaction");
+  }
+  txn_open_ = false;
+  StatementResult out;
+  out.kind = StatementKind::kAbort;
+  out.fate = TxnFate::kAborted;
+  if (coord_->running()) (void)coord_->Abort(txn_);
+  return out;
+}
+
+}  // namespace harbor::workload

@@ -1,0 +1,95 @@
+#ifndef HARBOR_WORKLOAD_EXECUTOR_H_
+#define HARBOR_WORKLOAD_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cluster.h"
+#include "workload/statement.h"
+
+namespace harbor::workload {
+
+/// What happened to the transaction a statement ran under. The workload
+/// driver's differential check needs exactly the three-way classification
+/// the chaos harness uses: certainly applied, certainly not applied, or
+/// indeterminate (a crash mid-commit-protocol left the outcome to consensus
+/// or the restarted coordinator).
+enum class TxnFate : uint8_t {
+  kNone = 0,    // statement left a multi-statement transaction open
+  kCommitted,   // certainly applied
+  kAborted,     // certainly not applied
+  kUnknown,     // commit outcome indeterminate
+};
+
+const char* TxnFateName(TxnFate fate);
+
+/// \brief Result of executing one statement.
+struct StatementResult {
+  StatementKind kind = StatementKind::kSelect;
+  TableId table = 0;          // resolved table (0 for BEGIN/COMMIT/ABORT)
+  int64_t rows_affected = 0;  // INSERT/UPDATE/DELETE
+  std::vector<Tuple> rows;    // SELECT rows, logical schema order
+  Schema schema;              // SELECT result schema (the logical schema)
+  /// Transaction outcome. DML outside BEGIN auto-commits, so its fate is
+  /// known immediately; inside BEGIN the fate stays kNone until COMMIT /
+  /// ABORT. A non-OK `txn_status` with fate kAborted or kUnknown is an
+  /// in-band transaction outcome, not a statement error: Execute() only
+  /// returns a non-OK Result for statement-level problems (parse errors,
+  /// unknown tables/columns, type mismatches, protocol misuse).
+  TxnFate fate = TxnFate::kNone;
+  Status txn_status;
+};
+
+/// \brief The statement front-end: parses and dispatches statements onto the
+/// coordinator's transaction / scan paths (the weaseldb Executor::Execute
+/// switch, mapped to HARBOR). One Executor is one client session: it holds
+/// at most one open transaction (BEGIN ... COMMIT/ABORT); DML outside an
+/// open transaction auto-commits. Not thread-safe — one Executor per
+/// session thread, like any client connection.
+class Executor {
+ public:
+  /// `coordinator` defaults to the cluster's first coordinator; pass another
+  /// to spread sessions across a multi-coordinator configuration.
+  explicit Executor(Cluster* cluster, Coordinator* coordinator = nullptr);
+
+  /// Parse + execute in one step.
+  Result<StatementResult> Execute(const std::string& sql);
+  Result<StatementResult> Execute(const Statement& stmt);
+
+  bool in_txn() const { return txn_open_; }
+  Coordinator* coordinator() { return coord_; }
+
+ private:
+  Result<StatementResult> ExecCreateTable(const Statement& stmt);
+  Result<StatementResult> ExecInsert(const Statement& stmt);
+  Result<StatementResult> ExecUpdateDelete(const Statement& stmt);
+  Result<StatementResult> ExecSelect(const Statement& stmt);
+  Result<StatementResult> ExecBegin();
+  Result<StatementResult> ExecCommit();
+  Result<StatementResult> ExecAbort();
+
+  /// Runs `body` under the open transaction, or Begin/body/Commit when no
+  /// transaction is open, classifying the fate (chaos-harness rules: a
+  /// pre-commit failure is a certain abort; a commit failure that is not
+  /// kAborted is indeterminate).
+  template <typename Body>
+  Result<StatementResult> RunDml(const Statement& stmt, const Body& body);
+
+  Result<const TableDef*> ResolveTable(const std::string& name) const;
+
+  Cluster* const cluster_;
+  Coordinator* const coord_;
+  TxnId txn_ = kInvalidTxnId;
+  bool txn_open_ = false;
+};
+
+/// Coerces a literal to `col`'s exact value type (int64 literals narrow to
+/// int32 with a range check, widen to double exactly, strings must fit CHAR
+/// columns); InvalidArgument on a type mismatch. Exposed for the driver's
+/// reference model.
+Result<Value> CoerceValue(const Column& col, const Value& v);
+
+}  // namespace harbor::workload
+
+#endif  // HARBOR_WORKLOAD_EXECUTOR_H_

@@ -1,0 +1,428 @@
+#include "workload/statement.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace harbor::workload {
+
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kCreateTable: return "CREATE TABLE";
+    case StatementKind::kInsert: return "INSERT";
+    case StatementKind::kUpdate: return "UPDATE";
+    case StatementKind::kDelete: return "DELETE";
+    case StatementKind::kSelect: return "SELECT";
+    case StatementKind::kBegin: return "BEGIN";
+    case StatementKind::kCommit: return "COMMIT";
+    case StatementKind::kAbort: return "ABORT";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class TokKind : uint8_t {
+  kEnd,
+  kWord,    // identifier or keyword (case preserved in text)
+  kInt,     // integer literal
+  kFloat,   // floating literal
+  kString,  // 'quoted' literal, unescaped
+  kPunct,   // ( ) , * and comparison operators
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // kWord/kPunct: lexeme; kString: unescaped body
+  size_t pos = 0;    // byte offset in the input, for error messages
+};
+
+/// Hand-rolled tokenizer: one pass, no allocation beyond the token text.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return tok_; }
+
+  Token Take() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(tok_.pos) + " in \"" +
+                                   text_ + "\"");
+  }
+
+ private:
+  void Advance() {
+    SkipSpaceAndComments();
+    tok_ = Token{};
+    tok_.pos = i_;
+    if (i_ >= text_.size()) return;  // kEnd
+    const char c = text_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i_;
+      while (i_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+              text_[i_] == '_')) {
+        ++i_;
+      }
+      tok_.kind = TokKind::kWord;
+      tok_.text = text_.substr(start, i_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && i_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[i_ + 1])))) {
+      size_t start = i_;
+      bool is_float = false;
+      ++i_;
+      while (i_ < text_.size()) {
+        const char d = text_[i_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i_;
+        } else if ((d == '.' || d == 'e' || d == 'E') ||
+                   ((d == '-' || d == '+') && i_ > start &&
+                    (text_[i_ - 1] == 'e' || text_[i_ - 1] == 'E'))) {
+          is_float = true;
+          ++i_;
+        } else {
+          break;
+        }
+      }
+      tok_.kind = is_float ? TokKind::kFloat : TokKind::kInt;
+      tok_.text = text_.substr(start, i_ - start);
+      return;
+    }
+    if (c == '\'') {
+      ++i_;
+      std::string body;
+      while (i_ < text_.size()) {
+        if (text_[i_] == '\'') {
+          if (i_ + 1 < text_.size() && text_[i_ + 1] == '\'') {
+            body.push_back('\'');  // '' escapes a quote
+            i_ += 2;
+            continue;
+          }
+          ++i_;
+          tok_.kind = TokKind::kString;
+          tok_.text = std::move(body);
+          return;
+        }
+        body.push_back(text_[i_]);
+        ++i_;
+      }
+      // Unterminated string: surface as a punct token the parser rejects.
+      tok_.kind = TokKind::kPunct;
+      tok_.text = "'";
+      return;
+    }
+    // Two-character comparison operators first.
+    if (i_ + 1 < text_.size()) {
+      const std::string two = text_.substr(i_, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        i_ += 2;
+        tok_.kind = TokKind::kPunct;
+        tok_.text = two;
+        return;
+      }
+    }
+    ++i_;
+    tok_.kind = TokKind::kPunct;
+    tok_.text = std::string(1, c);
+  }
+
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (i_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[i_]))) {
+        ++i_;
+      }
+      if (i_ + 1 < text_.size() && text_[i_] == '-' && text_[i_ + 1] == '-') {
+        while (i_ < text_.size() && text_[i_] != '\n') ++i_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  size_t i_ = 0;
+  Token tok_;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+/// True and consumes if the next token is the keyword `kw` (upper-case).
+bool TakeKeyword(Lexer* lex, const char* kw) {
+  if (lex->Peek().kind != TokKind::kWord) return false;
+  if (Upper(lex->Peek().text) != kw) return false;
+  lex->Take();
+  return true;
+}
+
+Status ExpectKeyword(Lexer* lex, const char* kw) {
+  if (!TakeKeyword(lex, kw)) {
+    return lex->Error(std::string("expected ") + kw);
+  }
+  return Status::OK();
+}
+
+Status ExpectPunct(Lexer* lex, const char* p) {
+  if (lex->Peek().kind != TokKind::kPunct || lex->Peek().text != p) {
+    return lex->Error(std::string("expected '") + p + "'");
+  }
+  lex->Take();
+  return Status::OK();
+}
+
+Result<std::string> ExpectIdentifier(Lexer* lex, const char* what) {
+  if (lex->Peek().kind != TokKind::kWord) {
+    return lex->Error(std::string("expected ") + what);
+  }
+  return lex->Take().text;
+}
+
+Result<int64_t> ExpectInt(Lexer* lex, const char* what) {
+  if (lex->Peek().kind != TokKind::kInt) {
+    return lex->Error(std::string("expected integer ") + what);
+  }
+  return static_cast<int64_t>(std::strtoll(lex->Take().text.c_str(),
+                                           nullptr, 10));
+}
+
+/// A literal becomes an int64 or double Value; the executor coerces it to
+/// the referenced column's exact type at bind time.
+Result<Value> ExpectLiteral(Lexer* lex) {
+  const Token& t = lex->Peek();
+  switch (t.kind) {
+    case TokKind::kInt:
+      return Value(static_cast<int64_t>(
+          std::strtoll(lex->Take().text.c_str(), nullptr, 10)));
+    case TokKind::kFloat:
+      return Value(std::strtod(lex->Take().text.c_str(), nullptr));
+    case TokKind::kString:
+      return Value(lex->Take().text);
+    default:
+      return lex->Error("expected literal");
+  }
+}
+
+Result<CompareOp> ExpectCompareOp(Lexer* lex) {
+  if (lex->Peek().kind != TokKind::kPunct) {
+    return lex->Error("expected comparison operator");
+  }
+  CompareOp out;
+  if (!CompareOpFromString(lex->Peek().text, &out)) {
+    return lex->Error("expected comparison operator");
+  }
+  lex->Take();
+  return out;
+}
+
+/// WHERE was already consumed: `col <op> literal [AND ...]`.
+Result<Predicate> ParseConjunction(Lexer* lex) {
+  std::vector<ColumnPredicate> conjuncts;
+  for (;;) {
+    HARBOR_ASSIGN_OR_RETURN(std::string col,
+                            ExpectIdentifier(lex, "column name"));
+    HARBOR_ASSIGN_OR_RETURN(CompareOp op, ExpectCompareOp(lex));
+    HARBOR_ASSIGN_OR_RETURN(Value v, ExpectLiteral(lex));
+    conjuncts.push_back(ColumnPredicate{std::move(col), op, std::move(v)});
+    if (!TakeKeyword(lex, "AND")) break;
+  }
+  return Predicate(std::move(conjuncts));
+}
+
+Result<Column> ParseColumnDef(Lexer* lex) {
+  HARBOR_ASSIGN_OR_RETURN(std::string name,
+                          ExpectIdentifier(lex, "column name"));
+  HARBOR_ASSIGN_OR_RETURN(std::string type_word,
+                          ExpectIdentifier(lex, "column type"));
+  const std::string type = Upper(type_word);
+  if (type == "INT32") return Column::Int32(std::move(name));
+  if (type == "INT64" || type == "INT" || type == "BIGINT") {
+    return Column::Int64(std::move(name));
+  }
+  if (type == "DOUBLE" || type == "FLOAT") {
+    return Column::Double(std::move(name));
+  }
+  if (type == "CHAR") {
+    HARBOR_RETURN_NOT_OK(ExpectPunct(lex, "("));
+    HARBOR_ASSIGN_OR_RETURN(int64_t width, ExpectInt(lex, "CHAR width"));
+    HARBOR_RETURN_NOT_OK(ExpectPunct(lex, ")"));
+    if (width <= 0 || width > 4096) {
+      return lex->Error("CHAR width out of range");
+    }
+    return Column::Char(std::move(name), static_cast<uint32_t>(width));
+  }
+  return lex->Error("unknown column type " + type_word);
+}
+
+Result<Statement> ParseCreate(Lexer* lex) {
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "TABLE"));
+  Statement stmt;
+  stmt.kind = StatementKind::kCreateTable;
+  HARBOR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier(lex, "table name"));
+  HARBOR_RETURN_NOT_OK(ExpectPunct(lex, "("));
+  std::vector<Column> columns;
+  for (;;) {
+    HARBOR_ASSIGN_OR_RETURN(Column col, ParseColumnDef(lex));
+    columns.push_back(std::move(col));
+    if (lex->Peek().kind == TokKind::kPunct && lex->Peek().text == ",") {
+      lex->Take();
+      continue;
+    }
+    break;
+  }
+  HARBOR_RETURN_NOT_OK(ExpectPunct(lex, ")"));
+  stmt.schema = Schema(std::move(columns));
+  for (;;) {
+    if (TakeKeyword(lex, "COLUMNAR")) {
+      stmt.columnar = true;
+    } else if (TakeKeyword(lex, "REPLICATION")) {
+      HARBOR_ASSIGN_OR_RETURN(int64_t k, ExpectInt(lex, "replication factor"));
+      if (k <= 0) return lex->Error("REPLICATION factor must be positive");
+      stmt.replication_factor = static_cast<uint32_t>(k);
+    } else if (TakeKeyword(lex, "INDEX")) {
+      HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "ON"));
+      HARBOR_ASSIGN_OR_RETURN(stmt.indexed_column,
+                              ExpectIdentifier(lex, "indexed column"));
+    } else {
+      break;
+    }
+  }
+  return stmt;
+}
+
+Result<Statement> ParseInsert(Lexer* lex) {
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "INTO"));
+  Statement stmt;
+  stmt.kind = StatementKind::kInsert;
+  HARBOR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier(lex, "table name"));
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "VALUES"));
+  HARBOR_RETURN_NOT_OK(ExpectPunct(lex, "("));
+  for (;;) {
+    HARBOR_ASSIGN_OR_RETURN(Value v, ExpectLiteral(lex));
+    stmt.values.push_back(std::move(v));
+    if (lex->Peek().kind == TokKind::kPunct && lex->Peek().text == ",") {
+      lex->Take();
+      continue;
+    }
+    break;
+  }
+  HARBOR_RETURN_NOT_OK(ExpectPunct(lex, ")"));
+  return stmt;
+}
+
+Result<Statement> ParseUpdate(Lexer* lex) {
+  Statement stmt;
+  stmt.kind = StatementKind::kUpdate;
+  HARBOR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier(lex, "table name"));
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "SET"));
+  for (;;) {
+    HARBOR_ASSIGN_OR_RETURN(std::string col,
+                            ExpectIdentifier(lex, "column name"));
+    HARBOR_RETURN_NOT_OK(ExpectPunct(lex, "="));
+    HARBOR_ASSIGN_OR_RETURN(Value v, ExpectLiteral(lex));
+    stmt.sets.push_back(SetClause{std::move(col), std::move(v)});
+    if (lex->Peek().kind == TokKind::kPunct && lex->Peek().text == ",") {
+      lex->Take();
+      continue;
+    }
+    break;
+  }
+  if (TakeKeyword(lex, "WHERE")) {
+    HARBOR_ASSIGN_OR_RETURN(stmt.predicate, ParseConjunction(lex));
+  }
+  return stmt;
+}
+
+Result<Statement> ParseDelete(Lexer* lex) {
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "FROM"));
+  Statement stmt;
+  stmt.kind = StatementKind::kDelete;
+  HARBOR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier(lex, "table name"));
+  if (TakeKeyword(lex, "WHERE")) {
+    HARBOR_ASSIGN_OR_RETURN(stmt.predicate, ParseConjunction(lex));
+  }
+  return stmt;
+}
+
+Result<Statement> ParseSelect(Lexer* lex) {
+  HARBOR_RETURN_NOT_OK(ExpectPunct(lex, "*"));
+  HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "FROM"));
+  Statement stmt;
+  stmt.kind = StatementKind::kSelect;
+  HARBOR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier(lex, "table name"));
+  if (TakeKeyword(lex, "WHERE")) {
+    HARBOR_ASSIGN_OR_RETURN(stmt.predicate, ParseConjunction(lex));
+  }
+  for (;;) {
+    if (TakeKeyword(lex, "AS")) {
+      HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "OF"));
+      HARBOR_ASSIGN_OR_RETURN(int64_t ts, ExpectInt(lex, "AS OF timestamp"));
+      if (ts <= 0) return lex->Error("AS OF timestamp must be positive");
+      stmt.as_of = static_cast<Timestamp>(ts);
+    } else if (TakeKeyword(lex, "WITH")) {
+      HARBOR_RETURN_NOT_OK(ExpectKeyword(lex, "LOCKS"));
+      stmt.with_locks = true;
+    } else {
+      break;
+    }
+  }
+  if (stmt.as_of != 0 && stmt.with_locks) {
+    return lex->Error("AS OF and WITH LOCKS are mutually exclusive");
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& text) {
+  Lexer lex(text);
+  if (lex.Peek().kind != TokKind::kWord) {
+    return lex.Error("expected a statement keyword");
+  }
+  const std::string head = Upper(lex.Take().text);
+  Result<Statement> stmt = [&]() -> Result<Statement> {
+    if (head == "CREATE") return ParseCreate(&lex);
+    if (head == "INSERT") return ParseInsert(&lex);
+    if (head == "UPDATE") return ParseUpdate(&lex);
+    if (head == "DELETE") return ParseDelete(&lex);
+    if (head == "SELECT") return ParseSelect(&lex);
+    if (head == "BEGIN") {
+      Statement s;
+      s.kind = StatementKind::kBegin;
+      return s;
+    }
+    if (head == "COMMIT") {
+      Statement s;
+      s.kind = StatementKind::kCommit;
+      return s;
+    }
+    if (head == "ABORT" || head == "ROLLBACK") {
+      Statement s;
+      s.kind = StatementKind::kAbort;
+      return s;
+    }
+    return lex.Error("unknown statement " + head);
+  }();
+  HARBOR_RETURN_NOT_OK(stmt.status());
+  // Optional trailing ';', then the input must be exhausted.
+  if (lex.Peek().kind == TokKind::kPunct && lex.Peek().text == ";") {
+    lex.Take();
+  }
+  if (lex.Peek().kind != TokKind::kEnd) {
+    return lex.Error("trailing input after statement");
+  }
+  return stmt;
+}
+
+}  // namespace harbor::workload

@@ -1,0 +1,82 @@
+#ifndef HARBOR_WORKLOAD_STATEMENT_H_
+#define HARBOR_WORKLOAD_STATEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "exec/dml.h"
+#include "exec/predicate.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace harbor::workload {
+
+/// The statement kinds of the minimal front-end grammar. Everything the
+/// C++ scenario tests express — tables, DML, the three read modes, and
+/// multi-statement transactions — is expressible as text.
+enum class StatementKind : uint8_t {
+  kCreateTable = 0,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kSelect,
+  kBegin,
+  kCommit,
+  kAbort,
+};
+
+const char* StatementKindName(StatementKind kind);
+
+/// \brief One parsed statement. The grammar (case-insensitive keywords,
+/// `--` line comments, optional trailing `;`):
+///
+///   CREATE TABLE t (col TYPE[, ...]) [COLUMNAR] [REPLICATION <n>]
+///       [INDEX ON <col>]
+///       TYPE := INT32 | INT64 | INT | DOUBLE | CHAR(<width>)
+///   INSERT INTO t VALUES (<literal>[, ...])
+///   UPDATE t SET col = <literal>[, ...] [WHERE <conj>]
+///   DELETE FROM t [WHERE <conj>]
+///   SELECT * FROM t [WHERE <conj>] [AS OF <ts>] [WITH LOCKS]
+///   BEGIN | COMMIT | ABORT
+///
+///   <conj>    := col <op> <literal> [AND ...]
+///   <op>      := = | != | <> | < | <= | > | >=
+///   <literal> := integer | float | 'string' ('' escapes a quote)
+///
+/// SELECT reads in the default lock-free snapshot mode; `AS OF <ts>` runs a
+/// historical query at stable timestamp <ts>; `WITH LOCKS` forces the
+/// up-to-date S-locking read transaction. Column references are by name, so
+/// one statement applies to replicas with different physical column orders.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::string table;
+
+  // CREATE TABLE
+  Schema schema;
+  bool columnar = false;
+  uint32_t replication_factor = 0;  // 0 = replicate everywhere
+  std::string indexed_column;
+
+  // INSERT (literal row, logical column order)
+  std::vector<Value> values;
+
+  // UPDATE
+  std::vector<SetClause> sets;
+
+  // UPDATE / DELETE / SELECT
+  Predicate predicate;
+
+  // SELECT modifiers
+  bool with_locks = false;
+  Timestamp as_of = 0;  // 0 = current snapshot
+};
+
+/// Parses one statement; the whole input must be consumed (one statement
+/// per string). Errors are InvalidArgument with position context.
+Result<Statement> ParseStatement(const std::string& text);
+
+}  // namespace harbor::workload
+
+#endif  // HARBOR_WORKLOAD_STATEMENT_H_

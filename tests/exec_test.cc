@@ -37,6 +37,20 @@ TEST(PredicateTest, CompareOps) {
                             Value(int64_t{4})));
 }
 
+TEST(PredicateTest, CompareOpStringRoundTrip) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    CompareOp parsed;
+    ASSERT_TRUE(CompareOpFromString(CompareOpToString(op), &parsed));
+    EXPECT_EQ(parsed, op);
+  }
+  CompareOp parsed;
+  EXPECT_TRUE(CompareOpFromString("<>", &parsed));  // SQL alias
+  EXPECT_EQ(parsed, CompareOp::kNe);
+  EXPECT_FALSE(CompareOpFromString("==", &parsed));
+  EXPECT_FALSE(CompareOpFromString("", &parsed));
+}
+
 TEST(PredicateTest, ConjunctionBindsAndEvaluates) {
   Predicate p;
   p.And("id", CompareOp::kGe, Value(int64_t{10}))

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/random.h"
 #include "core/cluster.h"
 #include "obs/metrics.h"
 #include "storage/file_manager.h"
@@ -26,29 +29,47 @@ using obs::TraceRing;
 // ------------------------------------------------------------- histogram
 
 TEST(HistogramTest, BucketBoundaries) {
-  EXPECT_EQ(Histogram::BucketLowerBound(0), 0);
-  EXPECT_EQ(Histogram::BucketLowerBound(1), 1);
-  EXPECT_EQ(Histogram::BucketLowerBound(2), 2);
-  EXPECT_EQ(Histogram::BucketLowerBound(3), 4);
-  EXPECT_EQ(Histogram::BucketLowerBound(10), 512);
+  // Group 0 is exact: one bucket per value in [0, 16).
+  for (size_t i = 0; i < Histogram::kSubBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketLowerBound(i), static_cast<int64_t>(i));
+  }
+  // Group 1 stays width-1 (16..31), group 2 is width-2 (32, 34, ...).
+  EXPECT_EQ(Histogram::BucketLowerBound(16), 16);
+  EXPECT_EQ(Histogram::BucketLowerBound(31), 31);
+  EXPECT_EQ(Histogram::BucketLowerBound(32), 32);
+  EXPECT_EQ(Histogram::BucketLowerBound(33), 34);
 
   Histogram h;
-  h.Record(0);   // bucket 0
-  h.Record(1);   // bucket 1: [1, 2)
-  h.Record(2);   // bucket 2: [2, 4)
-  h.Record(3);   // bucket 2
-  h.Record(4);   // bucket 3: [4, 8)
-  h.Record(7);   // bucket 3
-  h.Record(8);   // bucket 4: [8, 16)
+  h.Record(0);
+  h.Record(1);
+  h.Record(3);    // exact buckets below 16
+  h.Record(3);
+  h.Record(33);   // bucket 32: [32, 34)
+  h.Record(35);   // bucket 33: [34, 36)
+  h.Record(1000);
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
-  EXPECT_EQ(h.bucket(2), 2u);
   EXPECT_EQ(h.bucket(3), 2u);
-  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(32), 1u);
+  EXPECT_EQ(h.bucket(33), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(1000)), 1u);
   EXPECT_EQ(h.count(), 7);
-  EXPECT_EQ(h.sum(), 25);
+  EXPECT_EQ(h.sum(), 1075);
   EXPECT_EQ(h.min(), 0);
-  EXPECT_EQ(h.max(), 8);
+  EXPECT_EQ(h.max(), 1000);
+}
+
+TEST(HistogramTest, LogLinearResolutionBound) {
+  // Every bucket's width is at most max(1, lower/16): <= 6.25% relative
+  // resolution at every magnitude (the p999 requirement).
+  for (int64_t v = 1; v < (int64_t{1} << 50); v += 1 + v / 3) {
+    const size_t i = Histogram::BucketIndex(v);
+    const int64_t lo = Histogram::BucketLowerBound(i);
+    const int64_t hi = Histogram::BucketLowerBound(i + 1);
+    ASSERT_LE(lo, v) << v;
+    ASSERT_GT(hi, v) << v;
+    ASSERT_LE(hi - lo, std::max<int64_t>(1, lo / 16)) << v;
+  }
 }
 
 TEST(HistogramTest, NegativeAndHugeValuesClamp) {
@@ -63,12 +84,43 @@ TEST(HistogramTest, NegativeAndHugeValuesClamp) {
 TEST(HistogramTest, PercentileUpperBound) {
   Histogram h;
   EXPECT_EQ(h.PercentileUpperBound(0.5), 0);  // empty
-  for (int i = 0; i < 99; ++i) h.Record(3);   // bucket 2, upper bound 4
-  h.Record(1000);                             // bucket 10, clamps to max
+  for (int i = 0; i < 99; ++i) h.Record(3);   // exact bucket 3
+  h.Record(1000);                             // clamps to max
   EXPECT_EQ(h.PercentileUpperBound(0.5), 4);
   EXPECT_EQ(h.PercentileUpperBound(0.99), 4);
   EXPECT_EQ(h.PercentileUpperBound(1.0), 1000);
   EXPECT_NEAR(h.mean(), (99 * 3 + 1000) / 100.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentileErrorBoundOnKnownDistribution) {
+  // p50/p99/p999 against the exact sorted percentiles of a heavy-tailed
+  // distribution spanning many octaves: the log-linear layout promises the
+  // interpolated estimate stays within one bucket (<= 6.25%) of exact.
+  Histogram h;
+  Random rng(7);
+  std::vector<int64_t> samples;
+  constexpr int kN = 50000;
+  samples.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v =
+        1 + static_cast<int64_t>(std::exp(rng.NextDouble() * 13.0));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {0.5, 0.99, 0.999}) {
+    const auto rank = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(kN)));
+    const int64_t exact = samples[rank - 1];
+    const int64_t got = h.Percentile(p);
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(exact),
+                0.0625 * static_cast<double>(exact) + 1.0)
+        << "p=" << p;
+  }
+  // CountAbove is the stall detector: conservative (bucket-granular), and
+  // exact for thresholds on a bucket's upper edge.
+  EXPECT_EQ(h.CountAbove(h.max()), 0);
+  EXPECT_EQ(h.CountAbove(0), kN);
 }
 
 TEST(HistogramTest, ConcurrentRecording) {
@@ -246,6 +298,7 @@ TEST(ObserverTest, JsonSnapshotShape) {
   EXPECT_NE(json.find("\"wal.flushed_lsn\":41"), std::string::npos) << json;
   EXPECT_NE(json.find("\"wal.force_ns\":{\"count\":1"), std::string::npos)
       << json;
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos) << json;
 }
 
 // ---------------------------------------------------- cluster integration

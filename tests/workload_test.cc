@@ -1,0 +1,379 @@
+// Statement front-end tests: the grammar round-trips onto the existing
+// coordinator transaction / scan paths. Every statement kind is executed
+// both as text and as the equivalent direct API calls, and the scan results
+// must be value-identical; predicates push down unchanged onto row and
+// columnar replicas in all three read modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "tests/test_util.h"
+#include "workload/executor.h"
+#include "workload/statement.h"
+
+namespace harbor {
+namespace {
+
+using test::SmallSchema;
+using workload::Executor;
+using workload::ParseStatement;
+using workload::Statement;
+using workload::StatementKind;
+using workload::StatementResult;
+using workload::TxnFate;
+
+// ----------------------------------------------------------------- parsing
+
+TEST(StatementParseTest, CreateTableFullForm) {
+  ASSERT_OK_AND_ASSIGN(
+      Statement s,
+      ParseStatement("CREATE TABLE t (id INT64, w INT32, r DOUBLE, "
+                     "tag CHAR(8)) COLUMNAR REPLICATION 2 INDEX ON id;"));
+  EXPECT_EQ(s.kind, StatementKind::kCreateTable);
+  EXPECT_EQ(s.table, "t");
+  ASSERT_EQ(s.schema.num_columns(), 4u);
+  EXPECT_EQ(s.schema.column(0).type, ColumnType::kInt64);
+  EXPECT_EQ(s.schema.column(1).type, ColumnType::kInt32);
+  EXPECT_EQ(s.schema.column(2).type, ColumnType::kDouble);
+  EXPECT_EQ(s.schema.column(3).type, ColumnType::kChar);
+  EXPECT_EQ(s.schema.column(3).width, 8u);
+  EXPECT_TRUE(s.columnar);
+  EXPECT_EQ(s.replication_factor, 2u);
+  EXPECT_EQ(s.indexed_column, "id");
+}
+
+TEST(StatementParseTest, InsertLiteralTypes) {
+  ASSERT_OK_AND_ASSIGN(
+      Statement s,
+      ParseStatement("insert into t values (-3, 2.5, 'it''s', 1e3)"));
+  EXPECT_EQ(s.kind, StatementKind::kInsert);
+  ASSERT_EQ(s.values.size(), 4u);
+  EXPECT_EQ(s.values[0].AsInt64(), -3);
+  EXPECT_DOUBLE_EQ(s.values[1].AsDouble(), 2.5);
+  EXPECT_EQ(s.values[2].AsString(), "it's");
+  EXPECT_DOUBLE_EQ(s.values[3].AsDouble(), 1000.0);
+}
+
+TEST(StatementParseTest, UpdateSetsAndPredicate) {
+  ASSERT_OK_AND_ASSIGN(
+      Statement s,
+      ParseStatement("UPDATE t SET qty = 7, name = 'x' "
+                     "WHERE id >= 2 AND qty <> 9"));
+  EXPECT_EQ(s.kind, StatementKind::kUpdate);
+  ASSERT_EQ(s.sets.size(), 2u);
+  EXPECT_EQ(s.sets[0].column, "qty");
+  EXPECT_EQ(s.sets[1].value.AsString(), "x");
+  ASSERT_EQ(s.predicate.conjuncts().size(), 2u);
+  EXPECT_EQ(s.predicate.conjuncts()[0].op, CompareOp::kGe);
+  EXPECT_EQ(s.predicate.conjuncts()[1].op, CompareOp::kNe);
+}
+
+TEST(StatementParseTest, SelectModes) {
+  ASSERT_OK_AND_ASSIGN(Statement plain,
+                       ParseStatement("SELECT * FROM t WHERE id = 1"));
+  EXPECT_FALSE(plain.with_locks);
+  EXPECT_EQ(plain.as_of, 0u);
+
+  ASSERT_OK_AND_ASSIGN(Statement locking,
+                       ParseStatement("SELECT * FROM t WITH LOCKS"));
+  EXPECT_TRUE(locking.with_locks);
+
+  ASSERT_OK_AND_ASSIGN(Statement historical,
+                       ParseStatement("SELECT * FROM t AS OF 17"));
+  EXPECT_EQ(historical.as_of, 17u);
+
+  // -- comments and ROLLBACK alias.
+  ASSERT_OK_AND_ASSIGN(Statement c,
+                       ParseStatement("-- note\nROLLBACK -- trailing"));
+  EXPECT_EQ(c.kind, StatementKind::kAbort);
+}
+
+TEST(StatementParseTest, RejectsMalformedInput) {
+  const char* const kBad[] = {
+      "",
+      "GRANT ALL",                          // unknown statement
+      "CREATE TABLE t id INT64)",           // missing '('
+      "CREATE TABLE t (id BLOB)",           // unknown type
+      "CREATE TABLE t (tag CHAR(0))",       // width out of range
+      "CREATE TABLE t (id INT64) REPLICATION 0",
+      "INSERT INTO t VALUES (1",            // unterminated list
+      "INSERT INTO t VALUES ('oops)",       // unterminated string
+      "UPDATE t SET qty 7",                 // missing '='
+      "DELETE FROM t WHERE id ~ 3",         // bad operator
+      "SELECT id FROM t",                   // only * is supported
+      "SELECT * FROM t AS OF 0",            // timestamp must be positive
+      "SELECT * FROM t AS OF 3 WITH LOCKS",  // mutually exclusive
+      "SELECT * FROM t; SELECT * FROM t",   // one statement per string
+      "COMMIT garbage",
+  };
+  for (const char* sql : kBad) {
+    auto s = ParseStatement(sql);
+    EXPECT_FALSE(s.ok()) << "accepted: " << sql;
+    if (!s.ok()) {
+      EXPECT_TRUE(s.status().IsInvalidArgument()) << sql;
+    }
+  }
+}
+
+// ------------------------------------------- statement vs direct API calls
+
+std::vector<std::vector<Value>> SortedValues(std::vector<Tuple> rows) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(rows.size());
+  for (Tuple& t : rows) out.push_back(t.values());
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              return a[0].AsInt64() < b[0].AsInt64();
+            });
+  return out;
+}
+
+class WorkloadExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opt;
+    opt.num_workers = 3;
+    opt.sim = SimConfig::Zero();
+    ASSERT_OK_AND_ASSIGN(cluster_, Cluster::Create(opt));
+    // The API-driven twin table, identical shape, built without SQL.
+    TableSpec spec;
+    spec.name = "api_t";
+    spec.schema = SmallSchema();
+    ASSERT_OK_AND_ASSIGN(api_table_, cluster_->CreateTable(spec));
+  }
+
+  Result<std::vector<Tuple>> SqlRows(Executor* exec, const std::string& sql) {
+    HARBOR_ASSIGN_OR_RETURN(StatementResult r, exec->Execute(sql));
+    return std::move(r.rows);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  TableId api_table_ = 0;
+};
+
+TEST_F(WorkloadExecutorTest, EveryStatementKindMatchesDirectApiCalls) {
+  Executor exec(cluster_.get());
+  Coordinator* coord = cluster_->coordinator();
+
+  // CREATE TABLE: same shape as the API twin.
+  ASSERT_OK_AND_ASSIGN(
+      StatementResult created,
+      exec.Execute("CREATE TABLE sql_t (id INT64, qty INT64, "
+                   "name CHAR(16))"));
+  const TableId sql_table = created.table;
+  ASSERT_OK_AND_ASSIGN(const TableDef* sql_def,
+                       cluster_->catalog()->GetTable(sql_table));
+  ASSERT_OK_AND_ASSIGN(const TableDef* api_def,
+                       cluster_->catalog()->GetTable(api_table_));
+  ASSERT_EQ(sql_def->logical_schema.num_columns(),
+            api_def->logical_schema.num_columns());
+  ASSERT_EQ(sql_def->replicas.size(), api_def->replicas.size());
+
+  // The same operation stream through both front doors.
+  auto api_dml = [&](auto&& body) {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+    ASSERT_OK(body(txn));
+    ASSERT_OK(coord->Commit(txn));
+  };
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        StatementResult r,
+        exec.Execute("INSERT INTO sql_t VALUES (" + std::to_string(i) + ", " +
+                     std::to_string(i * 10) + ", 'row" + std::to_string(i) +
+                     "')"));
+    EXPECT_EQ(r.fate, TxnFate::kCommitted);
+    EXPECT_EQ(r.rows_affected, 1);
+    api_dml([&](TxnId txn) {
+      return coord->Insert(txn, api_table_,
+                           test::SmallRow(i, i * 10, "row" + std::to_string(i)));
+    });
+  }
+  ASSERT_OK_AND_ASSIGN(
+      StatementResult upd,
+      exec.Execute("UPDATE sql_t SET qty = 777 WHERE id >= 4 AND id < 7"));
+  EXPECT_EQ(upd.fate, TxnFate::kCommitted);
+  {
+    Predicate p;
+    p.And("id", CompareOp::kGe, Value(int64_t{4}));
+    p.And("id", CompareOp::kLt, Value(int64_t{7}));
+    ASSERT_OK(coord->UpdateTxn(api_table_, p,
+                               {SetClause{"qty", Value(int64_t{777})}}));
+  }
+  ASSERT_OK_AND_ASSIGN(StatementResult del,
+                       exec.Execute("DELETE FROM sql_t WHERE qty = 90"));
+  EXPECT_EQ(del.fate, TxnFate::kCommitted);
+  {
+    Predicate p;
+    p.And("qty", CompareOp::kEq, Value(int64_t{90}));
+    ASSERT_OK(coord->DeleteTxn(api_table_, p));
+  }
+
+  // Multi-statement transactions: a committed pair and an aborted pair.
+  ASSERT_OK(exec.Execute("BEGIN").status());
+  EXPECT_TRUE(exec.in_txn());
+  ASSERT_OK(exec.Execute("INSERT INTO sql_t VALUES (100, 1, 'a')").status());
+  ASSERT_OK(exec.Execute("INSERT INTO sql_t VALUES (101, 2, 'b')").status());
+  ASSERT_OK_AND_ASSIGN(StatementResult committed, exec.Execute("COMMIT"));
+  EXPECT_EQ(committed.fate, TxnFate::kCommitted);
+  EXPECT_FALSE(exec.in_txn());
+  api_dml([&](TxnId txn) {
+    HARBOR_RETURN_NOT_OK(
+        coord->Insert(txn, api_table_, test::SmallRow(100, 1, "a")));
+    return coord->Insert(txn, api_table_, test::SmallRow(101, 2, "b"));
+  });
+
+  ASSERT_OK(exec.Execute("BEGIN").status());
+  ASSERT_OK(exec.Execute("INSERT INTO sql_t VALUES (102, 3, 'c')").status());
+  ASSERT_OK_AND_ASSIGN(StatementResult rolled, exec.Execute("ABORT"));
+  EXPECT_EQ(rolled.fate, TxnFate::kAborted);
+  {
+    ASSERT_OK_AND_ASSIGN(TxnId txn, coord->Begin());
+    ASSERT_OK(coord->Insert(txn, api_table_, test::SmallRow(102, 3, "c")));
+    ASSERT_OK(coord->Abort(txn));
+  }
+
+  // All three read modes agree between the two front doors, value-identical.
+  cluster_->AdvanceEpoch();
+  const Timestamp ts = cluster_->authority()->StableTime();
+  struct ModeCase {
+    std::string sql_suffix;
+    ReadMode mode;
+    bool historical;
+  };
+  const ModeCase kModes[] = {
+      {"", ReadMode::kSnapshot, false},
+      {" WITH LOCKS", ReadMode::kLocking, false},
+      {" AS OF " + std::to_string(ts), ReadMode::kSnapshot, true},
+  };
+  for (const ModeCase& m : kModes) {
+    SCOPED_TRACE(m.sql_suffix.empty() ? "snapshot" : m.sql_suffix);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> sql_rows,
+                         SqlRows(&exec, "SELECT * FROM sql_t" + m.sql_suffix));
+    auto api_rows = m.historical
+                        ? coord->HistoricalQuery(api_table_, Predicate(), ts)
+                        : coord->Query(api_table_, Predicate(), m.mode);
+    ASSERT_OK(api_rows.status());
+    EXPECT_EQ(SortedValues(std::move(sql_rows)),
+              SortedValues(std::move(api_rows).value()));
+  }
+}
+
+TEST_F(WorkloadExecutorTest, CoercesLiteralsToColumnTypes) {
+  Executor exec(cluster_.get());
+  ASSERT_OK(exec.Execute("CREATE TABLE typed (a INT32, b INT64, c DOUBLE, "
+                         "d CHAR(4))")
+                .status());
+  // Integer literals narrow/widen; ints widen to double exactly.
+  ASSERT_OK_AND_ASSIGN(
+      StatementResult ins,
+      exec.Execute("INSERT INTO typed VALUES (7, 8, 9, 'abcd')"));
+  EXPECT_EQ(ins.fate, TxnFate::kCommitted);
+  ASSERT_OK_AND_ASSIGN(StatementResult sel,
+                       exec.Execute("SELECT * FROM typed WHERE a = 7"));
+  ASSERT_EQ(sel.rows.size(), 1u);
+  EXPECT_EQ(sel.rows[0].value(0).AsInt32(), 7);
+  EXPECT_EQ(sel.rows[0].value(1).AsInt64(), 8);
+  EXPECT_DOUBLE_EQ(sel.rows[0].value(2).AsDouble(), 9.0);
+  EXPECT_EQ(sel.rows[0].value(3).AsString(), "abcd");
+
+  // Statement-level type errors: INT32 overflow, CHAR overflow, type
+  // mismatch, unknown column / table. None of these reach a transaction.
+  EXPECT_FALSE(
+      exec.Execute("INSERT INTO typed VALUES (4294967296, 0, 0, 'x')").ok());
+  EXPECT_FALSE(
+      exec.Execute("INSERT INTO typed VALUES (1, 0, 0, 'toolong')").ok());
+  EXPECT_FALSE(
+      exec.Execute("INSERT INTO typed VALUES ('nope', 0, 0, 'x')").ok());
+  EXPECT_FALSE(exec.Execute("INSERT INTO typed VALUES (1, 2, 3)").ok());
+  EXPECT_FALSE(exec.Execute("SELECT * FROM typed WHERE nope = 1").ok());
+  EXPECT_FALSE(exec.Execute("SELECT * FROM missing").ok());
+  // The failed statements left nothing behind.
+  ASSERT_OK_AND_ASSIGN(StatementResult all,
+                       exec.Execute("SELECT * FROM typed"));
+  EXPECT_EQ(all.rows.size(), 1u);
+}
+
+TEST_F(WorkloadExecutorTest, TransactionProtocolMisuse) {
+  Executor exec(cluster_.get());
+  EXPECT_FALSE(exec.Execute("COMMIT").ok());
+  EXPECT_FALSE(exec.Execute("ABORT").ok());
+  ASSERT_OK(exec.Execute("BEGIN").status());
+  EXPECT_FALSE(exec.Execute("BEGIN").ok());  // no nesting
+  ASSERT_OK(exec.Execute("COMMIT").status());
+}
+
+// --------------------------------------------------- predicate pushdown
+
+class WorkloadPushdownTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WorkloadPushdownTest, PushdownMatchesClientFilterInAllReadModes) {
+  const bool columnar = GetParam();
+  ClusterOptions opt;
+  opt.num_workers = 3;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  Executor exec(cluster.get());
+  std::string create = "CREATE TABLE p (id INT64, qty INT64, name CHAR(16))";
+  if (columnar) create += " COLUMNAR";
+  create += " INDEX ON id";
+  ASSERT_OK_AND_ASSIGN(StatementResult created, exec.Execute(create));
+
+  // A sealed bulk-loaded segment (columnar-encoded when requested) plus a
+  // live SQL-inserted tail: pushdown must traverse both layouts.
+  std::vector<LoadRow> preload;
+  for (int64_t i = 0; i < 64; ++i) {
+    LoadRow r;
+    r.tuple_id = static_cast<TupleId>(i + 1);
+    r.insertion_ts = 1;
+    r.values = {Value(i), Value((i * 7) % 50), Value("bulk")};
+    preload.push_back(std::move(r));
+  }
+  ASSERT_OK(cluster->BulkLoad(created.table, preload, /*seal_segment=*/true));
+  for (int64_t i = 64; i < 80; ++i) {
+    ASSERT_OK(exec.Execute("INSERT INTO p VALUES (" + std::to_string(i) +
+                           ", " + std::to_string((i * 7) % 50) + ", 'tail')")
+                  .status());
+  }
+  cluster->AdvanceEpoch();
+  const Timestamp ts = cluster->authority()->StableTime();
+
+  ASSERT_OK_AND_ASSIGN(StatementResult everything,
+                       exec.Execute("SELECT * FROM p"));
+  ASSERT_EQ(everything.rows.size(), 80u);
+
+  const std::string where = " WHERE id >= 20 AND id < 70 AND qty > 15";
+  auto matches = [](const Tuple& t) {
+    const int64_t id = t.value(0).AsInt64();
+    return id >= 20 && id < 70 && t.value(1).AsInt64() > 15;
+  };
+  std::vector<Tuple> expected;
+  for (const Tuple& t : everything.rows) {
+    if (matches(t)) expected.push_back(t);
+  }
+  ASSERT_FALSE(expected.empty());
+
+  const std::string kSuffix[] = {"", " WITH LOCKS",
+                                 " AS OF " + std::to_string(ts)};
+  for (const std::string& suffix : kSuffix) {
+    SCOPED_TRACE(suffix.empty() ? "snapshot" : suffix);
+    ASSERT_OK_AND_ASSIGN(StatementResult got,
+                         exec.Execute("SELECT * FROM p" + where + suffix));
+    for (const Tuple& t : got.rows) {
+      EXPECT_TRUE(matches(t)) << t.ToString();
+    }
+    EXPECT_EQ(SortedValues(std::move(got.rows)), SortedValues(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RowAndColumnar, WorkloadPushdownTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "columnar" : "row";
+                         });
+
+}  // namespace
+}  // namespace harbor
