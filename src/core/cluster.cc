@@ -33,7 +33,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterOptions options) {
     ::mkdir(cluster->base_dir_.c_str(), 0755);
   }
 
-  cluster->network_ = std::make_unique<Network>(options.sim);
+  cluster->scheduler_ = std::make_unique<runtime::Scheduler>();
+  cluster->network_ =
+      std::make_unique<Network>(options.sim, cluster->scheduler_.get());
   // A site that dies between BeginCommit and EndCommit would pin
   // StableTime() forever; subscribed before any site so the epoch holds are
   // freed ahead of the workers' own crash handling (consensus, §4.3.3).
@@ -76,7 +78,8 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterOptions options) {
   }
 
   if (options.epoch_tick_ms > 0) {
-    cluster->authority_.StartTicker(options.epoch_tick_ms);
+    cluster->authority_.StartTicker(cluster->scheduler_.get(),
+                                    options.epoch_tick_ms);
   }
   return cluster;
 }

@@ -13,6 +13,7 @@
 #include "core/recovery_manager.h"
 #include "core/worker.h"
 #include "net/network.h"
+#include "runtime/scheduler.h"
 #include "txn/timestamp_authority.h"
 
 namespace harbor {
@@ -119,6 +120,9 @@ class Cluster {
   }
 
   Network* network() { return network_.get(); }
+  /// The cluster-wide task scheduler every subsystem shares (RPC dispatch,
+  /// checkpoint/epoch timers, consensus rounds, recovery fan-out).
+  runtime::Scheduler* scheduler() { return scheduler_.get(); }
   TimestampAuthority* authority() { return &authority_; }
   GlobalCatalog* catalog() { return &catalog_; }
   LivenessDirectory* liveness() { return &liveness_; }
@@ -155,6 +159,9 @@ class Cluster {
   const ClusterOptions options_;
   std::string base_dir_;
   bool owns_base_dir_ = false;
+  /// Declared before network_ (and so destroyed after it): the network's
+  /// teardown still posts/drains dispatch tasks on this scheduler.
+  std::unique_ptr<runtime::Scheduler> scheduler_;
   std::unique_ptr<Network> network_;
   TimestampAuthority authority_;
   GlobalCatalog catalog_;

@@ -383,7 +383,12 @@ Status Coordinator::RunCommitProtocol(const std::shared_ptr<CoordTxn>& ct) {
     obs::Trace(options_.site_id, "coord.votes.collected", ct->id,
                static_cast<int64_t>(yes_sites.size()), all_yes ? 1 : 0);
   }
-  if (!all_yes) return AbortWithWorkers(ct, yes_sites);
+  // Abort every participant, not just the YES voters: a site whose PREPARE
+  // was lost in transit (or failed before the handler ran) never aborted
+  // locally and still holds its execution-phase locks. kAbort is idempotent
+  // at sites that already rolled back — the unknown-txn path releases any
+  // stragglers — and Broadcast shrugs off sites that have since died.
+  if (!all_yes) return AbortWithWorkers(ct, participants);
   HARBOR_FAULT_POINT("coordinator.after_prepare", options_.site_id);
 
   const Timestamp ts = authority_->BeginCommit(options_.site_id);

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "core/messages.h"
+#include "runtime/scheduler.h"
 #include "exec/seq_scan.h"
 #include "fault/fault_injector.h"
 #include "obs/observer.h"
@@ -150,7 +151,10 @@ Status RecoveryManager::StreamScan(
   bool first = true;
   while (true) {
     const int64_t wait_start = obs::Enabled() ? NowNanos() : 0;
-    Result<Message> raw = inflight.get();
+    Result<Message> raw = [&] {
+      runtime::ScopedBlocking block;  // fetch wait on the shared pool
+      return inflight.get();
+    }();
     if (obs::Enabled() && !first) {
       // Fetch wait not hidden behind the previous chunk's apply — 0 when
       // the pipeline fully overlaps transfer with apply.
@@ -590,16 +594,15 @@ Status RecoveryManager::RunPhase2Round(ObjectPlan* plan, Timestamp hwm) {
     return RunStream(plan, pool, windows[0], hwm, /*stats_mu=*/nullptr);
   }
   std::mutex stats_mu;
-  std::vector<Status> results(windows.size(), Status::OK());
-  std::vector<std::thread> threads;
-  threads.reserve(windows.size());
+  std::vector<std::function<Status()>> streams;
+  streams.reserve(windows.size());
   for (size_t i = 0; i < windows.size(); ++i) {
-    threads.emplace_back([&, i] {
-      results[i] = RunStream(plan, pool, windows[i], hwm, &stats_mu);
+    streams.push_back([&, i] {
+      return RunStream(plan, pool, windows[i], hwm, &stats_mu);
     });
   }
-  for (std::thread& t : threads) t.join();
-  for (const Status& s : results) {
+  for (const Status& s :
+       runtime::RunParallel(worker_->scheduler(), std::move(streams))) {
     HARBOR_RETURN_NOT_OK(s);
   }
   return Status::OK();
@@ -719,6 +722,7 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   constexpr int kMaxLockAttempts = 12;
   for (int attempt = 0; attempt < kMaxLockAttempts; ++attempt) {
     if (attempt > 0) {
+      runtime::ScopedBlocking block;
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ms = std::min<int64_t>(backoff_ms * 2, 100);
       for (ObjectPlan& plan : *plans) {
@@ -782,15 +786,13 @@ Status RecoveryManager::RunPhase3(std::vector<ObjectPlan>* plans,
   };
   Status st = Status::OK();
   if (options_.parallel && plans->size() > 1) {
-    std::vector<Status> results(plans->size(), Status::OK());
-    std::vector<std::thread> threads;
-    threads.reserve(plans->size());
+    std::vector<std::function<Status()>> jobs;
+    jobs.reserve(plans->size());
     for (size_t i = 0; i < plans->size(); ++i) {
-      threads.emplace_back(
-          [&, i] { results[i] = copy_final_delta(&(*plans)[i]); });
+      jobs.push_back([&, i] { return copy_final_delta(&(*plans)[i]); });
     }
-    for (std::thread& t : threads) t.join();
-    for (const Status& s : results) {
+    for (const Status& s :
+         runtime::RunParallel(worker_->scheduler(), std::move(jobs))) {
       if (!s.ok()) {
         st = s;
         break;
@@ -915,12 +917,12 @@ Result<RecoveryStats> RecoveryManager::Recover() {
     Stopwatch offline_watch;
     std::vector<Status> results(plans.size(), Status::OK());
     if (options_.parallel && plans.size() > 1) {
-      std::vector<std::thread> threads;
-      threads.reserve(plans.size());
+      std::vector<std::function<Status()>> jobs;
+      jobs.reserve(plans.size());
       for (size_t i = 0; i < plans.size(); ++i) {
-        threads.emplace_back([&, i] { results[i] = run_offline_phases(&plans[i]); });
+        jobs.push_back([&, i] { return run_offline_phases(&plans[i]); });
       }
-      for (std::thread& t : threads) t.join();
+      results = runtime::RunParallel(worker_->scheduler(), std::move(jobs));
     } else {
       for (size_t i = 0; i < plans.size(); ++i) {
         results[i] = run_offline_phases(&plans[i]);

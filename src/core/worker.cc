@@ -103,7 +103,9 @@ Status Worker::Start(SiteState target_state) {
   liveness_->Set(options_.site_id, target_state);
 
   if (options_.checkpoint_period_ms > 0) {
-    rt->checkpoint_thread = std::thread([this] { CheckpointLoop(); });
+    rt->checkpoint_timer = scheduler()->ScheduleEvery(
+        options_.checkpoint_period_ms * 1'000'000,
+        [this] { CheckpointTick(); });
   }
   running_ = true;
   return Status::OK();
@@ -143,14 +145,18 @@ void Worker::Crash() {
   }
   rt->bg_cv.notify_all();
   network_->CrashSite(options_.site_id);  // drains handlers, fires subscribers
-  if (rt->checkpoint_thread.joinable()) rt->checkpoint_thread.join();
-  std::vector<std::thread> consensus;
-  {
-    std::lock_guard<std::mutex> lock(rt->bg_mu);
-    consensus.swap(rt->consensus_threads);
+  if (rt->checkpoint_timer != 0) {
+    // Cancel-and-wait: after this no checkpoint tick is running or will
+    // ever run, so rt_ can be torn down underneath it.
+    scheduler()->CancelTimer(rt->checkpoint_timer);
+    rt->checkpoint_timer = 0;
   }
-  for (std::thread& t : consensus) {
-    if (t.joinable()) t.join();
+  {
+    // Consensus rounds this worker launched still reference the runtime;
+    // wait them out (they fail fast once running_ is false).
+    runtime::ScopedBlocking block;
+    std::unique_lock<std::mutex> lock(consensus_mu_);
+    consensus_cv_.wait(lock, [this] { return consensus_inflight_ == 0; });
   }
   // Destroying the runtime drops the buffer pool (no flush — unflushed
   // pages are lost), the lock tables, the in-memory insertion/deletion
@@ -240,25 +246,19 @@ Status Worker::PromoteGlobalCheckpoint(Timestamp t) {
   return Status::OK();
 }
 
-void Worker::CheckpointLoop() {
+void Worker::CheckpointTick() {
   Runtime* rt = rt_.get();
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(rt->bg_mu);
-      if (rt->bg_cv.wait_for(
-              lock, std::chrono::milliseconds(options_.checkpoint_period_ms),
-              [rt] { return rt->stopping; })) {
-        return;
-      }
-    }
-    if (checkpoints_paused_.load()) continue;
-    if (rt->log != nullptr) {
-      // ARIES mode: fuzzy checkpoint, no page flushing.
-      (void)AriesRecovery::WriteCheckpoint(rt->log.get(), &rt->pool,
-                                           &rt->txns);
-    } else {
-      (void)WriteCheckpoint();
-    }
+  if (rt == nullptr || !running_.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(rt->bg_mu);
+    if (rt->stopping) return;
+  }
+  if (checkpoints_paused_.load()) return;
+  if (rt->log != nullptr) {
+    // ARIES mode: fuzzy checkpoint, no page flushing.
+    (void)AriesRecovery::WriteCheckpoint(rt->log.get(), &rt->pool, &rt->txns);
+  } else {
+    (void)WriteCheckpoint();
   }
 }
 
@@ -711,10 +711,23 @@ void Worker::OnSiteCrash(SiteId crashed) {
       run_consensus = true;
     }
     if (run_consensus) {
-      std::lock_guard<std::mutex> lock(rt->bg_mu);
-      if (rt->stopping) return;
-      rt->consensus_threads.emplace_back(
-          [this, id, crashed] { RunConsensus(id, crashed); });
+      {
+        std::lock_guard<std::mutex> lock(rt->bg_mu);
+        if (rt->stopping) return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(consensus_mu_);
+        consensus_inflight_++;
+      }
+      const bool posted = scheduler()->Post([this, id, crashed] {
+        RunConsensus(id, crashed);
+        std::lock_guard<std::mutex> lock(consensus_mu_);
+        if (--consensus_inflight_ == 0) consensus_cv_.notify_all();
+      });
+      if (!posted) {  // runtime shutting down: nothing will run
+        std::lock_guard<std::mutex> lock(consensus_mu_);
+        if (--consensus_inflight_ == 0) consensus_cv_.notify_all();
+      }
     }
   }
 }
@@ -751,7 +764,10 @@ void Worker::RunConsensus(TxnId txn_id, SiteId dead_coordinator) {
   for (size_t i = 0; i < alive.size(); ++i) {
     if (alive[i] == options_.site_id) rank = i;
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(30) * rank);
+  {
+    runtime::ScopedBlocking block;  // stagger wait on the shared pool
+    std::this_thread::sleep_for(std::chrono::milliseconds(30) * rank);
+  }
   if (!running_.load()) return;
   if (!rt->txns.Get(txn_id).ok()) return;  // resolved while we waited
 

@@ -110,6 +110,7 @@ class Worker {
   SimCpu* cpu() { return &rt_->cpu; }
   TimestampAuthority* authority() { return authority_; }
   Network* network() { return network_; }
+  runtime::Scheduler* scheduler() { return network_->scheduler(); }
   GlobalCatalog* global_catalog() { return catalog_; }
   LivenessDirectory* liveness() { return liveness_; }
   const WorkerOptions& options() const { return options_; }
@@ -147,8 +148,8 @@ class Worker {
     std::mutex bg_mu;
     std::condition_variable bg_cv;
     bool stopping = false;
-    std::thread checkpoint_thread;
-    std::vector<std::thread> consensus_threads;
+    /// Repeating checkpoint timer on the shared runtime; 0 = none.
+    runtime::TimerId checkpoint_timer = 0;
   };
 
   Result<Message> Handle(SiteId from, const Message& m);
@@ -168,7 +169,7 @@ class Worker {
   /// Consensus building protocol (backup coordinator, §4.3.3 / Table 4.1).
   void RunConsensus(TxnId txn_id, SiteId dead_coordinator);
 
-  void CheckpointLoop();
+  void CheckpointTick();
 
   Network* const network_;
   GlobalCatalog* const catalog_;
@@ -186,6 +187,12 @@ class Worker {
   /// Serializes read-modify-write cycles on the checkpoint record file
   /// (parallel object recovery checkpoints concurrently, §5.3).
   mutable std::mutex checkpoint_file_mu_;
+  /// Consensus rounds in flight on the shared runtime. Lives outside the
+  /// Runtime so Crash() can wait them out right before rt_.reset() without
+  /// racing the waiters' own notify (the cv must outlive the last round).
+  mutable std::mutex consensus_mu_;
+  std::condition_variable consensus_cv_;
+  int consensus_inflight_ = 0;
 };
 
 }  // namespace harbor

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/observer.h"
+#include "runtime/scheduler.h"
 
 namespace harbor::fault {
 
@@ -201,13 +202,31 @@ void FaultInjector::Uninstall() {
 }
 
 void FaultInjector::WaitForCrashes() {
-  std::vector<std::thread> threads;
+  std::vector<CrashThread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // The wait is a blocking section: a pool task calling this must not
+    // starve the pool that is running the crash handlers it waits for.
+    runtime::ScopedBlocking block;
+    std::unique_lock<std::mutex> lock(mu_);
+    crash_cv_.wait(lock, [this] { return crash_inflight_ == 0; });
     threads.swap(crash_threads_);
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  for (CrashThread& t : threads) {
+    if (t.thread.joinable()) t.thread.join();
+  }
+}
+
+void FaultInjector::ReapLocked() {
+  for (size_t i = 0; i < crash_threads_.size();) {
+    if (crash_threads_[i].finished->load(std::memory_order_acquire)) {
+      // Finished flips after the handler returned, so this join cannot
+      // block on live crash work.
+      crash_threads_[i].thread.join();
+      crash_threads_[i] = std::move(crash_threads_.back());
+      crash_threads_.pop_back();
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -226,10 +245,35 @@ void FaultInjector::RunCrash(SiteId target, CrashMode mode) {
   if (!handler) return;
   if (mode == CrashMode::kSync) {
     handler();
-  } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    crash_threads_.emplace_back(std::move(handler));
+    return;
   }
+  // Async: run the handler as a task on the tripping task's own scheduler
+  // (the crash handler's drain waits are blocking sections, so the pool
+  // stays live). The inflight count — not thread handles — is what
+  // WaitForCrashes() waits on.
+  auto run = [this, handler = std::move(handler)] {
+    handler();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--crash_inflight_ == 0) crash_cv_.notify_all();
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_inflight_++;
+  }
+  runtime::Scheduler* sched = runtime::CurrentScheduler();
+  if (sched != nullptr && sched->Post(run)) return;
+  // Off-pool tripping thread (or runtime shutting down): fall back to a
+  // dedicated thread, reaping previously finished ones so the list stays
+  // bounded instead of leaking joinable handles for the whole run.
+  std::lock_guard<std::mutex> lock(mu_);
+  ReapLocked();
+  CrashThread ct;
+  ct.finished = std::make_shared<std::atomic<bool>>(false);
+  ct.thread = std::thread([run, finished = ct.finished] {
+    run();
+    finished->store(true, std::memory_order_release);
+  });
+  crash_threads_.push_back(std::move(ct));
 }
 
 Status FaultInjector::OnPoint(const char* point, SiteId site, CrashMode mode) {

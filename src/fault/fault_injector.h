@@ -2,9 +2,11 @@
 #define HARBOR_FAULT_FAULT_INJECTOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -72,11 +74,14 @@ struct ChaosSchedule {
   static Result<ChaosSchedule> Parse(const std::string& text);
 };
 
-/// How a crash action runs relative to the tripping thread. Message-handler
-/// threads must use kAsync: the crash handler (e.g. Worker::Crash) joins the
-/// site's handler threads, so running it inline from one would deadlock.
-/// Client / recovery / consensus threads use kSync so the crash completes
-/// before the injected error propagates (no torn runtime behind the error).
+/// How a crash action runs relative to the tripping context. Message
+/// handlers must use kAsync: the crash handler (e.g. Worker::Crash) drains
+/// the site's in-flight handlers, so running it inline from one would
+/// deadlock. Async crashes run as a task on the tripping task's own
+/// scheduler (runtime::CurrentScheduler()), falling back to a short-lived
+/// injector-owned thread off the pool. Client / recovery / consensus
+/// contexts use kSync so the crash completes before the injected error
+/// propagates (no torn runtime behind the error).
 enum class CrashMode : uint8_t { kSync = 0, kAsync = 1 };
 
 /// Verdict for one message, combined across all matching link faults.
@@ -126,11 +131,20 @@ class FaultInjector {
   /// Called by Network::CallAsync for every message.
   LinkDecision OnMessage(SiteId from, SiteId to, uint16_t msg_type);
 
-  /// Joins async crash threads (also done by Uninstall / the destructor).
+  /// Waits until every async crash handler has finished (also done by
+  /// Uninstall / the destructor) and reaps any fallback crash threads.
   void WaitForCrashes();
 
   /// Human-readable log of every fault that fired, in firing order.
   std::vector<std::string> fired() const;
+
+  /// Test introspection: fallback crash-thread handles currently retained.
+  /// Stays bounded by the number of *concurrently running* fallback crashes
+  /// (finished handles are reaped on every spawn).
+  int pending_crash_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(crash_threads_.size());
+  }
 
   const ChaosSchedule& schedule() const { return schedule_; }
 
@@ -142,16 +156,32 @@ class FaultInjector {
   struct LinkState {
     uint64_t fires = 0;
   };
+  /// A fallback crash thread (used when the tripping thread is not a pool
+  /// task). `finished` flips after the handler returns, making the handle
+  /// safe to join without blocking on live work — ReapLocked() joins
+  /// finished entries on every spawn, so the list stays bounded by the
+  /// number of *concurrently running* crashes instead of growing for the
+  /// whole chaos run (crashes used to accumulate un-joined until
+  /// Uninstall).
+  struct CrashThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
 
   void RunCrash(SiteId target, CrashMode mode);
+  void ReapLocked();
 
   const ChaosSchedule schedule_;
   mutable std::mutex mu_;
+  std::condition_variable crash_cv_;  // crash_inflight_ reached zero
   std::vector<PointState> point_state_;
   std::vector<LinkState> link_state_;
   Random rng_;  // seeded from schedule_.seed; guarded by mu_
   std::unordered_map<SiteId, std::function<void()>> crash_handlers_;
-  std::vector<std::thread> crash_threads_;
+  /// Async crash handlers still running (scheduler tasks + fallback
+  /// threads). WaitForCrashes waits for zero.
+  int crash_inflight_ = 0;
+  std::vector<CrashThread> crash_threads_;
   std::vector<std::string> fired_;
 };
 
@@ -171,9 +201,10 @@ class FaultInjector {
     }                                                                      \
   } while (0)
 
-/// Fault point for message handlers: a crash action runs on an
-/// injector-owned thread while the handler returns kUnavailable (the
-/// paper's abruptly-closed-socket failure signal, §5.5.1).
+/// Fault point for message handlers: a crash action runs asynchronously
+/// (on the handler's scheduler, or an injector-owned fallback thread) while
+/// the handler returns kUnavailable (the paper's abruptly-closed-socket
+/// failure signal, §5.5.1).
 #define HARBOR_FAULT_POINT_ASYNC(point_name, site_id)                      \
   do {                                                                     \
     ::harbor::fault::FaultInjector* _harbor_fi =                           \

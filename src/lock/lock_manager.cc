@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/observer.h"
+#include "runtime/scheduler.h"
 
 namespace harbor {
 
@@ -86,11 +87,16 @@ Status LockManager::Acquire(LockKey key, LockOwnerId owner, LockMode mode) {
   };
 
   bool ok = true;
-  while (!can_proceed()) {
-    if (e.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-        !can_proceed()) {
-      ok = false;
-      break;
+  if (!can_proceed()) {
+    // A lock wait is a blocking section on the shared runtime: the holder
+    // that will release us may be queued behind us on the pool.
+    runtime::ScopedBlocking block;
+    while (!can_proceed()) {
+      if (e.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !can_proceed()) {
+        ok = false;
+        break;
+      }
     }
   }
 

@@ -1,11 +1,22 @@
 #include "net/network.h"
 
 #include <chrono>
+#include <thread>
 
 #include "fault/fault_injector.h"
 #include "obs/observer.h"
 
 namespace harbor {
+
+Network::Network(const SimConfig& config, runtime::Scheduler* scheduler)
+    : config_(config), sim_(config) {
+  if (scheduler == nullptr) {
+    owned_sched_ = std::make_unique<runtime::Scheduler>();
+    sched_ = owned_sched_.get();
+  } else {
+    sched_ = scheduler;
+  }
+}
 
 Network::~Network() {
   std::vector<SiteId> sites;
@@ -15,6 +26,8 @@ Network::~Network() {
     crash_subscribers_.clear();  // no callbacks during teardown
   }
   for (SiteId site : sites) CrashSite(site);
+  // Releasing every crashed site's strand discarded its queued dispatch
+  // tasks, so nothing on a shared scheduler can outlive this network.
 }
 
 std::shared_ptr<Network::Endpoint> Network::Find(SiteId site) {
@@ -36,87 +49,86 @@ Status Network::RegisterSite(SiteId site, Handler handler, int num_threads) {
     }
     endpoints_[site] = ep;
   }
-  // Under ep->mu so a concurrent CrashSite either sees all threads (and
-  // joins them) or none (and the registration fails cleanly below).
+  // Under ep->mu so a concurrent CrashSite either sees the strand (and
+  // releases it) or none (and the registration fails cleanly below).
   std::lock_guard<std::mutex> lock(ep->mu);
   if (ep->stopping) {
     return Status::Unavailable("site " + std::to_string(site) +
                                " crashed during registration");
   }
-  for (int i = 0; i < num_threads; ++i) {
-    ep->threads.emplace_back([this, site, ep] { ServerLoop(site, ep); });
+  ep->strand = sched_->CreateStrand(num_threads);
+  if (ep->strand == 0) {
+    ep->alive = false;
+    return Status::Unavailable("runtime is shut down");
   }
   return Status::OK();
 }
 
-void Network::ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep) {
-  (void)site;
-  while (true) {
-    PendingCall call;
-    {
-      std::unique_lock<std::mutex> lock(ep->mu);
-      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
-      if (ep->stopping) {
-        // Fail whatever is still queued.
-        while (!ep->inbox.empty()) {
-          ep->inbox.front().promise->set_value(
-              Status::Unavailable("site crashed"));
-          ep->inbox.pop_front();
-        }
-        return;
-      }
-      call = std::move(ep->inbox.front());
-      ep->inbox.pop_front();
-      ep->in_flight++;
-    }
-    if (call.delay_ms > 0) {  // fault-injected link delay
-      std::this_thread::sleep_for(std::chrono::milliseconds(call.delay_ms));
-    }
-    // Request delivery cost (sender = caller) is paid on the server thread
-    // so the (async) caller is not blocked by it.
-    sim_.ChargeMessage(call.from, call.request.WireBytes());
-    Result<Message> reply = ep->handler(call.from, call.request);
-    // Reply flight back to the caller, charged against this site's NIC.
-    if (reply.ok()) {
-      sim_.ChargeMessage(site, reply->WireBytes());
-    }
-    call.promise->set_value(std::move(reply));
-    {
-      std::lock_guard<std::mutex> lock(ep->mu);
-      ep->in_flight--;
-    }
-    ep->cv.notify_all();
+void Network::DispatchOne(SiteId site, std::shared_ptr<Endpoint> ep) {
+  PendingCall call;
+  {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    if (ep->stopping || ep->inbox.empty()) return;
+    call = std::move(ep->inbox.front());
+    ep->inbox.pop_front();
+    ep->in_flight++;
   }
+  if (call.delay_ms > 0) {  // fault-injected link delay
+    runtime::ScopedBlocking block;
+    std::this_thread::sleep_for(std::chrono::milliseconds(call.delay_ms));
+  }
+  // Request delivery cost (sender = caller) is paid on the serving task so
+  // the (async) caller is not blocked by it.
+  sim_.ChargeMessage(call.from, call.request.WireBytes());
+  Result<Message> reply = ep->handler(call.from, call.request);
+  // Reply flight back to the caller, charged against this site's NIC.
+  if (reply.ok()) {
+    sim_.ChargeMessage(site, reply->WireBytes());
+  }
+  call.promise->set_value(std::move(reply));
+  {
+    std::lock_guard<std::mutex> lock(ep->mu);
+    ep->in_flight--;
+  }
+  ep->cv.notify_all();
 }
 
 void Network::CrashSite(SiteId site) {
   std::shared_ptr<Endpoint> ep = Find(site);
   if (ep == nullptr) return;
-  std::vector<std::thread> to_join;
+  runtime::StrandId to_release = 0;
   {
     std::unique_lock<std::mutex> lock(ep->mu);
     if (ep->drained) return;  // already fully crashed
     if (!ep->alive) {
-      // Another thread is mid-crash. Joining ep->threads from here too
-      // would double-join the same std::thread objects; instead wait for
-      // the crasher to finish so this call, like every CrashSite call,
-      // returns only once no handler is in flight.
+      // Another thread is mid-crash; wait for it so this call, like every
+      // CrashSite call, returns only once no handler is in flight.
+      runtime::ScopedBlocking block;
       ep->cv.wait(lock, [&] { return ep->drained; });
       return;
     }
     ep->alive = false;
     ep->stopping = true;
-    to_join.swap(ep->threads);
-  }
-  ep->cv.notify_all();
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(ep->mu);
+    // Fail whatever is still queued (the abruptly-closed-socket signal).
+    while (!ep->inbox.empty()) {
+      ep->inbox.front().promise->set_value(Status::Unavailable("site crashed"));
+      ep->inbox.pop_front();
+    }
+    {
+      // In-flight handlers drain; their blocking waits were unblocked by
+      // the caller (e.g. LockManager::Shutdown) per the crash protocol.
+      runtime::ScopedBlocking block;
+      ep->cv.wait(lock, [&] { return ep->in_flight == 0; });
+    }
     ep->drained = true;
+    to_release = ep->strand;
+    ep->strand = 0;
   }
   ep->cv.notify_all();
+  // Discards queued dispatch turns (their calls were failed above). Not
+  // under ep->mu: the strand's last running turns may need it to observe
+  // `stopping`.
+  if (to_release != 0) sched_->ReleaseStrand(to_release);
   obs::Trace(site, "net.crash");
 
   // Only the transitioning crasher reaches this point, so subscribers fire
@@ -171,15 +183,24 @@ std::future<Result<Message>> Network::CallAsync(SiteId from, SiteId to,
     if (duplicate) {
       auto dup_promise = std::make_shared<std::promise<Result<Message>>>();
       ep->inbox.push_back(PendingCall{from, request, dup_promise, delay_ms});
+      sched_->Post(ep->strand,
+                   [this, to, ep] { DispatchOne(to, ep); });
     }
     ep->inbox.push_back(
         PendingCall{from, std::move(request), promise, delay_ms});
+    if (!sched_->Post(ep->strand, [this, to, ep] { DispatchOne(to, ep); })) {
+      // Runtime shut down under us: fail the call like a crashed site.
+      ep->inbox.back().promise->set_value(
+          Status::Unavailable("site " + std::to_string(to) +
+                              " is down (runtime shut down)"));
+      ep->inbox.pop_back();
+    }
   }
-  ep->cv.notify_all();
   return future;
 }
 
 Result<Message> Network::Call(SiteId from, SiteId to, Message request) {
+  runtime::ScopedBlocking block;
   return CallAsync(from, to, std::move(request)).get();
 }
 

@@ -8,12 +8,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/types.h"
+#include "runtime/scheduler.h"
 #include "sim/sim_config.h"
 #include "sim/sim_network.h"
 
@@ -34,9 +34,11 @@ struct Message {
 /// \brief The in-process cluster transport: the simulated stand-in for the
 /// paper's TCP mesh (§6.1.6).
 ///
-/// Each registered site runs a multi-threaded server draining its inbox —
-/// mirroring the thesis's "each worker runs a multi-threaded server that
-/// listens for incoming transaction requests". Calls are synchronous RPCs
+/// Each registered site is a *strand* on the shared runtime scheduler: its
+/// inbox drains in FIFO order with at most `num_threads` handlers running
+/// concurrently — the same semantics as the thesis's "each worker runs a
+/// multi-threaded server", but without dedicating OS threads per site, so
+/// hundreds of sites share one fixed pool. Calls are synchronous RPCs
 /// (CallAsync returns a future for parallel fan-out, e.g. PREPARE to all
 /// workers). Delivery charges the SimNetwork latency/bandwidth model.
 ///
@@ -47,8 +49,10 @@ struct Message {
 /// e.g. a recovery buddy can release a dead recovering site's locks.
 class Network {
  public:
-  explicit Network(const SimConfig& config)
-      : config_(config), sim_(config) {}
+  /// With a null `scheduler` the network owns a private runtime; pass a
+  /// shared one (e.g. the cluster's) to host every subsystem on one pool.
+  explicit Network(const SimConfig& config,
+                   runtime::Scheduler* scheduler = nullptr);
   ~Network();
 
   Network(const Network&) = delete;
@@ -56,14 +60,14 @@ class Network {
 
   using Handler = std::function<Result<Message>(SiteId from, const Message&)>;
 
-  /// Registers (or re-registers after a restart) a site endpoint served by
-  /// `num_threads` handler threads.
+  /// Registers (or re-registers after a restart) a site endpoint serving up
+  /// to `num_threads` concurrent handlers.
   Status RegisterSite(SiteId site, Handler handler, int num_threads);
 
   /// Fail-stop crash: new and queued calls fail immediately; in-flight
   /// handlers are drained (their blocking waits must be unblocked by the
   /// caller first, e.g. LockManager::Shutdown); crash subscribers fire.
-  /// Must not be called from one of the site's own handler threads.
+  /// Must not be called from one of the site's own in-flight handlers.
   ///
   /// Concurrent calls for the same site are safe: exactly one caller
   /// performs the drain and fires the subscribers, and every call returns
@@ -83,6 +87,10 @@ class Network {
   /// crashes.
   void SubscribeCrash(std::function<void(SiteId)> callback);
 
+  /// The runtime hosting this network's dispatch (shared or owned) — the
+  /// cluster-wide executor for timers, recovery fan-out, and sessions.
+  runtime::Scheduler* scheduler() { return sched_; }
+
   SimNetwork& sim() { return sim_; }
 
   /// Messages delivered so far (Table 4.2 accounting).
@@ -100,18 +108,22 @@ class Network {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<PendingCall> inbox;
-    std::vector<std::thread> threads;
+    runtime::StrandId strand = 0;
     bool alive = false;
     bool stopping = false;
-    bool drained = false;  // crash finished: threads joined, inbox failed
+    bool drained = false;  // crash finished: inbox failed, handlers drained
     int in_flight = 0;
   };
 
-  void ServerLoop(SiteId site, std::shared_ptr<Endpoint> ep);
+  /// One dispatch turn on the endpoint's strand: pops and serves at most
+  /// one inbox entry. No-op once the endpoint is stopping.
+  void DispatchOne(SiteId site, std::shared_ptr<Endpoint> ep);
   std::shared_ptr<Endpoint> Find(SiteId site);
 
   const SimConfig config_;
   SimNetwork sim_;
+  std::unique_ptr<runtime::Scheduler> owned_sched_;
+  runtime::Scheduler* sched_;
   std::mutex mu_;
   std::unordered_map<SiteId, std::shared_ptr<Endpoint>> endpoints_;
   std::vector<std::function<void(SiteId)>> crash_subscribers_;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "runtime/scheduler.h"
 
 namespace harbor {
 namespace {
@@ -16,6 +17,10 @@ void WaitUntilNanos(int64_t deadline_ns) {
   // may overshoot short sleeps by tens of microseconds; that error is far
   // below the millisecond-scale simulated costs and applies to every
   // protocol equally.
+  //
+  // A simulated device hold is a blocking section: a pool task sleeping out
+  // a charge must not starve the shared executor.
+  runtime::ScopedBlocking block;
   int64_t now = NowNanos();
   while (now < deadline_ns) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(deadline_ns - now));

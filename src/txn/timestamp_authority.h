@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/scheduler.h"
 
 namespace harbor {
 
@@ -95,7 +96,19 @@ class TimestampAuthority {
     return stable;
   }
 
-  /// Starts a background thread advancing the epoch every `period_ms`.
+  /// Starts a repeating timer on `scheduler` advancing the epoch every
+  /// `period_ms` — the preferred form: the tick shares the cluster's pool
+  /// and StopTicker() waits out an in-flight tick, so a tick can never run
+  /// after this object (or the network it rode in on) is torn down.
+  void StartTicker(runtime::Scheduler* scheduler, int64_t period_ms) {
+    StopTicker();
+    ticker_sched_ = scheduler;
+    ticker_timer_ = scheduler->ScheduleEvery(period_ms * 1'000'000,
+                                             [this] { Advance(); });
+  }
+
+  /// Starts a dedicated background thread advancing the epoch every
+  /// `period_ms` (legacy form for scheduler-less tests).
   void StartTicker(int64_t period_ms) {
     StopTicker();
     stop_ = false;
@@ -111,7 +124,15 @@ class TimestampAuthority {
     });
   }
 
+  /// Stops the ticker. On return no tick is running or will ever run: the
+  /// timer form cancels-and-waits, the thread form joins. Safe to call
+  /// repeatedly and from the destructor during cluster teardown.
   void StopTicker() {
+    if (ticker_sched_ != nullptr && ticker_timer_ != 0) {
+      ticker_sched_->CancelTimer(ticker_timer_);
+      ticker_timer_ = 0;
+      ticker_sched_ = nullptr;
+    }
     {
       std::lock_guard<std::mutex> lock(ticker_mu_);
       stop_ = true;
@@ -130,6 +151,8 @@ class TimestampAuthority {
   std::condition_variable ticker_cv_;
   bool stop_ = false;
   std::thread ticker_;
+  runtime::Scheduler* ticker_sched_ = nullptr;
+  runtime::TimerId ticker_timer_ = 0;
 };
 
 }  // namespace harbor

@@ -14,6 +14,7 @@
 
 #include "core/cluster.h"
 #include "fault/fault_injector.h"
+#include "runtime/scheduler.h"
 #include "obs/observer.h"
 #include "workload/executor.h"
 
@@ -357,26 +358,58 @@ void RunOp(Session* s, Timestamp historical_ts, int64_t preload_rows,
   }
 }
 
-void SessionThread(std::vector<Session*> sessions, Timestamp historical_ts,
-                   int64_t preload_rows, RunState* state,
-                   Clock::time_point run_start) {
-  for (;;) {
-    // Earliest unexecuted arrival across this thread's sessions.
-    Session* next = nullptr;
-    for (Session* s : sessions) {
-      if (s->next_arrival >= s->arrivals_ns.size()) continue;
-      if (next == nullptr || s->arrivals_ns[s->next_arrival] <
-                                 next->arrivals_ns[next->next_arrival]) {
-        next = s;
-      }
-    }
-    if (next == nullptr) return;
-    const int64_t arrival_ns = next->arrivals_ns[next->next_arrival++];
-    std::this_thread::sleep_until(run_start +
-                                  std::chrono::nanoseconds(arrival_ns));
-    RunOp(next, historical_ts, preload_rows, state, arrival_ns, run_start);
+/// Session issuing on the cluster's shared scheduler: each session owns a
+/// width-1 strand (its ops stay FIFO, preserving the serial reference
+/// model) and a timer chain — an arrival timer posts the op to the strand,
+/// and the op, once done, arms the timer for the next arrival. Open-loop
+/// latency accounting is unchanged: arrivals are the precomputed schedule
+/// and latency is completion minus *scheduled* arrival, so a slow op still
+/// charges the queueing delay to the ops behind it.
+struct SessionIssuer {
+  runtime::Scheduler* sched = nullptr;
+  Timestamp historical_ts = 0;
+  int64_t preload_rows = 0;
+  RunState* state = nullptr;
+  Clock::time_point run_start;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = 0;
+
+  void FinishOne() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--active == 0) cv.notify_all();
   }
-}
+
+  /// Arms the timer for `s`'s next scheduled arrival (or retires the
+  /// session). Runs on the session's own strand, except the first call.
+  void ScheduleNext(Session* s, runtime::StrandId strand) {
+    if (s->next_arrival >= s->arrivals_ns.size()) {
+      FinishOne();
+      return;
+    }
+    const int64_t arrival_ns = s->arrivals_ns[s->next_arrival++];
+    int64_t delay_ns = arrival_ns - ElapsedNs(run_start, Clock::now());
+    if (delay_ns < 0) delay_ns = 0;
+    const runtime::TimerId timer = sched->ScheduleAfter(
+        delay_ns, [this, s, strand, arrival_ns] {
+          const bool posted =
+              sched->Post(strand, [this, s, strand, arrival_ns] {
+                RunOp(s, historical_ts, preload_rows, state, arrival_ns,
+                      run_start);
+                ScheduleNext(s, strand);
+              });
+          if (!posted) FinishOne();  // runtime shutting down mid-run
+        });
+    if (timer == 0) FinishOne();
+  }
+
+  /// Blocks until every session has drained its arrival schedule.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return active == 0; });
+  }
+};
 
 void RecoveryThread(Cluster* cluster, const SoakOptions& opt, RunState* state,
                     Clock::time_point run_start) {
@@ -504,18 +537,23 @@ Result<SoakReport> WorkloadDriver::Run() {
                                   &state, run_start);
   }
 
-  std::vector<std::vector<Session*>> by_thread(
-      static_cast<size_t>(opt.threads));
-  for (size_t i = 0; i < sessions.size(); ++i) {
-    by_thread[i % by_thread.size()].push_back(sessions[i].get());
+  SessionIssuer issuer;
+  issuer.sched = cluster->scheduler();
+  issuer.historical_ts = historical_ts;
+  issuer.preload_rows = opt.preload_rows;
+  issuer.state = &state;
+  issuer.run_start = run_start;
+  issuer.active = static_cast<int>(sessions.size());
+  std::vector<runtime::StrandId> strands;
+  strands.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    strands.push_back(issuer.sched->CreateStrand(/*width=*/1));
+    issuer.ScheduleNext(s.get(), strands.back());
   }
-  std::vector<std::thread> threads;
-  for (auto& group : by_thread) {
-    if (group.empty()) continue;
-    threads.emplace_back(SessionThread, group, historical_ts,
-                         opt.preload_rows, &state, run_start);
+  issuer.Wait();
+  for (runtime::StrandId strand : strands) {
+    issuer.sched->ReleaseStrand(strand);
   }
-  for (std::thread& t : threads) t.join();
   if (recovery_thread.joinable()) recovery_thread.join();
 
   SoakReport report;

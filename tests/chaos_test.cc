@@ -191,7 +191,12 @@ struct SnapshotReaderStats {
 
 void SnapshotReaderLoop(Coordinator* coord, TableId table,
                         std::atomic<bool>* stop, SnapshotReaderStats* stats) {
-  while (!stop->load(std::memory_order_relaxed)) {
+  for (;;) {
+    // One final query always runs after stop is signalled — stop is set
+    // post-recovery, when the cluster is healthy again, so the progress
+    // assertion (successes > 0) cannot flake on a CPU-starved run where
+    // the reader never got a turn while sites were down.
+    const bool last = stop->load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
     auto rows = coord->Query(table, Predicate());
     const auto elapsed = std::chrono::steady_clock::now() - t0;
@@ -210,6 +215,7 @@ void SnapshotReaderLoop(Coordinator* coord, TableId table,
         }
       }
     }
+    if (last) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -615,6 +621,72 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, ChaosScheduleTest,
     ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
                       17, 18, 19, 20, 21, 22, 23, 24));
+
+// A pinned schedule against a fixed sequential workload must fire the same
+// faults in the same order on every run — the determinism contract the
+// replay workflow (and the shared-runtime migration) relies on: the fired()
+// log and the surviving rows are bit-identical across runs.
+TEST(ChaosReplayTest, PinnedScheduleReplaysIdentically) {
+  const std::string pinned =
+      "seed=7;"
+      "point=worker.prepare,site=2,hit=3,action=error;"
+      "point=worker.exec_update,site=1,hit=8,action=crash;"
+      "link=0->2,type=1,action=drop,max=1";
+  auto schedule_r = ChaosSchedule::Parse(pinned);
+  ASSERT_OK(schedule_r.status());
+
+  auto run_once = [&](std::vector<std::string>* fired_out,
+                      std::map<int64_t, int64_t>* rows_out) {
+    ClusterOptions opt;
+    opt.num_workers = 2;
+    opt.protocol = CommitProtocol::kOptimized3PC;
+    opt.sim = SimConfig::Zero();
+    ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+    TableSpec spec;
+    spec.name = "t";
+    spec.schema = SmallSchema();
+    spec.default_segment_page_budget = 4;
+    ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+    Coordinator* coord = cluster->coordinator();
+
+    FaultInjector injector(*schedule_r);
+    injector.RegisterCrashHandler(0, [coord] { coord->Crash(); });
+    Cluster* raw = cluster.get();
+    for (int i = 0; i < 2; ++i) {
+      injector.RegisterCrashHandler(Cluster::WorkerSite(i),
+                                    [raw, i] { raw->CrashWorker(i); });
+    }
+    injector.Install();
+    // Fixed single-client workload, sized so the async crash fires on the
+    // LAST insert (the 8th exec_update hit at site 1) — no post-crash ops
+    // whose outcome would depend on crash-drain timing.
+    for (int64_t id = 0; id < 8; ++id) {
+      (void)coord->InsertTxn(table, {Value(id), Value(id), Value("x")});
+    }
+    injector.Uninstall();  // waits out the in-flight async crash
+    for (int i = 0; i < 2; ++i) {
+      if (!cluster->worker(i)->running()) {
+        RecoveryOptions ropt;
+        ropt.max_attempts = 5;
+        ASSERT_OK(cluster->RecoverWorker(i, ropt).status());
+      }
+    }
+    cluster->AdvanceEpoch();
+    *fired_out = injector.fired();
+    *rows_out =
+        ReplicaRows(cluster.get(), 0, cluster->authority()->StableTime());
+  };
+
+  std::vector<std::string> fired_a, fired_b;
+  std::map<int64_t, int64_t> rows_a, rows_b;
+  run_once(&fired_a, &rows_a);
+  run_once(&fired_b, &rows_b);
+  EXPECT_FALSE(fired_a.empty());
+  EXPECT_EQ(fired_a, fired_b)
+      << "pinned chaos schedule fired differently across two runs";
+  EXPECT_EQ(rows_a, rows_b)
+      << "pinned chaos schedule left different surviving rows";
+}
 
 // Replays one exact schedule from the environment:
 //   HARBOR_CHAOS_SCHEDULE='seed=...;point=...;link=...' HARBOR_CHAOS_PROTOCOL=2pc

@@ -7,11 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "core/cluster.h"
+#include "runtime/scheduler.h"
 #include "exec/seq_scan.h"
 #include "tests/test_util.h"
 
@@ -589,6 +596,122 @@ TEST(RecoveryFaultTest, ComingOnlineErrorIsRetriedWithinRecover) {
   ASSERT_OK(st);
   ASSERT_EQ(fi.fired().size(), 1u);
   ExpectConverged(&rig, 0, 1);
+}
+
+// ----------------------------------- thread lifecycle across crash cycles
+
+/// Live tasks in this process, from /proc/self/status.
+int CountProcessThreads() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+TEST(FaultInjectorTest, HundredAsyncCrashRecoverCyclesStayBounded) {
+  // Regression: async crash handlers used to accumulate one un-joined
+  // std::thread handle per firing for the injector's whole lifetime. A
+  // long chaos run (100 crash/recover cycles here) must keep both the
+  // retained-handle count and the process thread count flat.
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  opt.protocol = CommitProtocol::kOptimized3PC;
+  opt.sim = SimConfig::Zero();
+  ASSERT_OK_AND_ASSIGN(auto cluster, Cluster::Create(opt));
+  TableSpec spec;
+  spec.name = "t";
+  spec.schema = SmallSchema();
+  spec.default_segment_page_budget = 4;
+  ASSERT_OK_AND_ASSIGN(TableId table, cluster->CreateTable(spec));
+  for (int64_t id = 0; id < 5; ++id) {
+    ASSERT_OK(cluster->coordinator()->InsertTxn(
+        table, {Value(id), Value(id), Value("x")}));
+  }
+  cluster->AdvanceEpoch();
+  ASSERT_OK(cluster->CheckpointAll());
+
+  constexpr int kCycles = 100;
+  ChaosSchedule sched;
+  for (int i = 0; i < kCycles; ++i) {
+    PointFault p;
+    p.point = "cycle";
+    p.site = 1;
+    sched.points.push_back(p);  // one one-shot crash spec per cycle
+  }
+  FaultInjector fi(sched);
+  Cluster* raw = cluster.get();
+  fi.RegisterCrashHandler(1, [raw] { raw->CrashWorker(0); });
+  fi.Install();
+
+  const int baseline = CountProcessThreads();
+  ASSERT_GT(baseline, 0);
+  int max_threads = baseline;
+  for (int i = 0; i < kCycles; ++i) {
+    // Fired from this (non-pool) thread: exercises the fallback
+    // crash-thread path and its reaping.
+    Status st = fi.OnPoint("cycle", 1, fault::CrashMode::kAsync);
+    ASSERT_TRUE(st.IsUnavailable()) << i << ": " << st.ToString();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (cluster->worker(0)->running() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_FALSE(cluster->worker(0)->running()) << "crash " << i << " hung";
+    fi.WaitForCrashes();  // Crash() finished; recovery may start
+    Status recovered = cluster->RecoverWorker(0).status();
+    ASSERT_TRUE(recovered.ok()) << "cycle " << i << ": "
+                                << recovered.ToString();
+    EXPECT_LT(fi.pending_crash_threads(), 8)
+        << "fallback crash threads not reaped at cycle " << i;
+    max_threads = std::max(max_threads, CountProcessThreads());
+  }
+  fi.Uninstall();
+  EXPECT_EQ(fi.pending_crash_threads(), 0);
+  EXPECT_EQ(fi.fired().size(), static_cast<size_t>(kCycles));
+  // Transient spares come and go; a leak of one thread per cycle would
+  // blow far past this bound.
+  EXPECT_LT(max_threads, baseline + 40)
+      << "thread count grew across crash/recover cycles";
+}
+
+TEST(FaultInjectorTest, AsyncCrashFromPoolTaskRunsOnScheduler) {
+  // An async crash tripped inside a pool task must run as a task on that
+  // same scheduler — no fallback thread at all.
+  runtime::Scheduler sched;
+  ChaosSchedule cs;
+  PointFault p;
+  p.point = "p";
+  p.site = 7;
+  cs.points.push_back(p);
+  FaultInjector fi(cs);
+  std::atomic<bool> crashed{false};
+  fi.RegisterCrashHandler(7, [&] { crashed.store(true); });
+  fi.Install();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  ASSERT_TRUE(sched.Post([&] {
+    Status st = fi.OnPoint("p", 7, fault::CrashMode::kAsync);
+    EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+    std::lock_guard<std::mutex> lock(mu);
+    fired = true;
+    cv.notify_all();
+  }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return fired; }));
+  }
+  fi.WaitForCrashes();
+  EXPECT_TRUE(crashed.load());
+  EXPECT_EQ(fi.pending_crash_threads(), 0)
+      << "pool-task crash should not have spawned a fallback thread";
+  fi.Uninstall();
 }
 
 }  // namespace
